@@ -1,0 +1,77 @@
+"""A4 — compile-time cost of the method itself.
+
+The paper argues its analyses run at compile time; this bench measures
+the *wall-clock* cost of each compiler stage on real inputs (this is the
+one benchmark where pytest-benchmark's timing is the datum rather than
+the simulated clock):
+
+* CAG construction + exact alignment on the paper programs;
+* Algorithm 1 table construction and DP solve as the loop-sequence
+  length s grows (synthetic programs with s pipeline stages);
+* full recognize-and-emit code generation.
+"""
+
+from __future__ import annotations
+
+from repro.alignment import build_cag, exact_alignment
+from repro.codegen import generate_spmd
+from repro.dp import build_phase_tables
+from repro.lang import gauss_program, jacobi_program, parse_program
+from repro.machine.model import MachineModel
+from repro.util.tables import Table
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def synthetic_sequence(s: int) -> str:
+    """A program with s elementwise loops chained through s+1 vectors."""
+    arrays = ", ".join(f"V{idx}(m)" for idx in range(s + 1))
+    lines = [f"PROGRAM chain{s}", "PARAM m, t", f"ARRAY {arrays}", "DO k = 1, t"]
+    for idx in range(s):
+        lines += [
+            f"  DO i = 1, m",
+            f"    V{idx + 1}(i) = V{idx + 1}(i) + V{idx}(i)",
+            "  END DO",
+        ]
+    lines += ["END DO", "END"]
+    return "\n".join(lines) + "\n"
+
+
+def compile_everything():
+    out = {}
+    # Alignment on the real programs.
+    for maker in (jacobi_program, gauss_program):
+        program = maker()
+        fragment = program.loops()[0].body if program.name == "jacobi" else program.body
+        cag = build_cag(fragment, program, {"m": 128, "maxiter": 1}, MODEL, 16)
+        exact_alignment(cag, q=2)
+        out[f"align:{program.name}"] = len(cag.nodes)
+    # DP tables across sequence lengths.
+    for s in (2, 4, 6):
+        program = parse_program(synthetic_sequence(s))
+        tables = build_phase_tables(program, 8, {"m": 64, "t": 1}, MODEL)
+        result = tables.solve()
+        out[f"dp:s={s}"] = result.cost
+    # Code generation.
+    for maker in (jacobi_program, gauss_program):
+        gen = generate_spmd(maker())
+        out[f"codegen:{maker().name}"] = len(gen.source)
+    return out
+
+
+def test_a4_compile_time(benchmark, emit):
+    out = benchmark(compile_everything)
+    stats = benchmark.stats.stats
+    table = Table(
+        ["stage", "result"],
+        title=f"A4 — compiler stages (full pipeline mean {stats.mean * 1e3:.1f} ms)",
+    )
+    for key, value in out.items():
+        table.add_row([key, f"{value:g}"])
+    emit("a4_compile_time", table.render())
+
+    # Everything completed and the DP solved deeper sequences too.
+    assert out["dp:s=6"] > 0
+    assert out["codegen:jacobi"] > 200
+    # The whole compile pipeline is interactive-speed (well under 5 s).
+    assert stats.mean < 5.0

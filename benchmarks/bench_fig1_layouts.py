@@ -1,0 +1,81 @@
+"""F1 — Fig 1: data layouts for eight distribution schemes.
+
+Regenerates all eight block pictures of Fig 1 for a 16x16 array:
+(a) independent blocks on 4x4; (b) rows rotated; (c) columns rotated;
+(d) row blocks, columns replicated; (e) column blocks in decreasing
+order on 1x4; (f) cyclic rows on 4x1; (g) cyclic rows with displacement;
+(h) block-cyclic 2x2.  Asserts the signature cells of each picture.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.function import Dist1D, Kind
+from repro.distribution.function2d import Coupling, Dist2D
+from repro.distribution.layout import block_summary, render_layout
+
+
+def build_layouts():
+    m = 16
+    block4 = lambda gd: Dist1D.block_dist(m, 4, grid_dim=gd)  # noqa: E731
+    layouts = {
+        "a": Dist2D(rows=block4(1), cols=block4(2)),
+        "b": Dist2D(rows=block4(1), cols=block4(2), coupling=Coupling.ROTATE_DIM2, d1=-1, d2=-1),
+        "c": Dist2D(rows=block4(1), cols=block4(2), coupling=Coupling.ROTATE_DIM1, d1=-1, d2=-1),
+        "d": Dist2D.row_blocks(m, m, 4),
+        "e": Dist2D(
+            rows=Dist1D.replicated(m),
+            cols=Dist1D.block_dist(m, 4, grid_dim=2, direction=-1),
+        ),
+        "f": Dist2D(
+            rows=Dist1D.cyclic_dist(m, 4, block=4, grid_dim=1),
+            cols=Dist1D.replicated(m),
+        ),
+        "g": Dist2D(
+            rows=Dist1D(
+                extent=m, kind=Kind.CYCLIC, nprocs=4, block=4, disp=3, grid_dim=1
+            ),
+            cols=Dist1D.replicated(m),
+        ),
+        "h": Dist2D(
+            rows=Dist1D.cyclic_dist(m, 2, block=2, grid_dim=1),
+            cols=Dist1D.cyclic_dist(m, 2, block=2, grid_dim=2),
+        ),
+    }
+    rendered = {
+        key: render_layout(dist, title=f"Fig 1 ({key}): {dist}")
+        for key, dist in layouts.items()
+    }
+    return layouts, rendered
+
+
+def test_fig1_distribution_gallery(benchmark, emit):
+    layouts, rendered = benchmark(build_layouts)
+    emit("fig1_layouts", "\n\n".join(rendered[k] for k in sorted(rendered)))
+
+    # (a) plain blocks
+    a = block_summary(layouts["a"])
+    assert list(a[0]) == ["00", "01", "02", "03"]
+    # (b) row-wise rotation: 00 03 02 01 / 13 12 11 10
+    b = block_summary(layouts["b"])
+    assert list(b[0]) == ["00", "03", "02", "01"]
+    assert list(b[1]) == ["13", "12", "11", "10"]
+    # (c) column-wise rotation: first column reads 00 31 22 13... by blocks
+    c = block_summary(layouts["c"])
+    assert [row[0] for row in c] == ["00", "30", "20", "10"]
+    # (d) rows distributed, columns replicated
+    d = block_summary(layouts["d"])
+    assert list(d[:, 0]) == ["0*", "1*", "2*", "3*"]
+    # (e) decreasing column blocks: right-most block on processor 0
+    e = block_summary(layouts["e"])
+    assert list(e[0]) == ["*3", "*2", "*1", "*0"]
+    # (f) block-cyclic rows with block 4 over 4 procs = plain blocks here;
+    # the cyclic wrap shows at 16 elements / (4*4) exactly once.
+    f = block_summary(layouts["f"])
+    assert [row[0] for row in f] == ["0*", "1*", "2*", "3*"]
+    # (g) displacement rotates ownership: first block no longer on 0
+    g = block_summary(layouts["g"])
+    assert [row[0] for row in g] != [row[0] for row in f]
+    # (h) 2x2 block-cyclic alternates both ways
+    h = block_summary(layouts["h"])
+    assert list(h[0][:4]) == ["00", "01", "00", "01"]
+    assert list(h[1][:4]) == ["10", "11", "10", "11"]

@@ -1,0 +1,54 @@
+"""F2 — Fig 2: component affinity graph of Jacobi's iterative algorithm.
+
+Regenerates the CAG with its weighted edges (the paper's c1..c4
+expressions) and the resulting two-subset alignment, asserting the
+paper's structure: nodes {A1, A2, V, B, X}, the m^2-weight edge A1--V,
+the explicit remark c1 > c4, and the alignment {A1, V} / {A2, X}.
+"""
+
+from __future__ import annotations
+
+from repro.alignment import build_cag, exact_alignment
+from repro.lang import jacobi_program
+from repro.machine.model import MachineModel
+
+
+def build(m: int = 256, nprocs: int = 16):
+    program = jacobi_program()
+    cag = build_cag(
+        program.loops()[0].body,
+        program,
+        {"m": m, "maxiter": 1},
+        MachineModel(tf=1, tc=10),
+        nprocs=nprocs,
+    )
+    alignment = exact_alignment(cag, q=2)
+    return cag, alignment
+
+
+def test_fig2_jacobi_cag(benchmark, emit):
+    cag, alignment = benchmark(build)
+    emit(
+        "fig2_cag_jacobi",
+        cag.render(title="Fig 2 — component affinity graph of Jacobi")
+        + "\n\nalignment: "
+        + alignment.describe(cag),
+    )
+
+    assert set(cag.nodes) == {("A", 1), ("A", 2), ("V", 1), ("B", 1), ("X", 1)}
+
+    weights = {
+        frozenset({cag.node_label(e.u), cag.node_label(e.v)}): e.weight
+        for e in cag.edges.values()
+    }
+    # c1 (A1--V, the m^2 Transfer term) dominates everything.
+    c1 = weights[frozenset({"A1", "V"})]
+    assert c1 == max(weights.values())
+    # The paper's remark: c1 > c4 (the line-8 vector edges).
+    assert c1 > weights[frozenset({"B", "X"})]
+    assert c1 > weights[frozenset({"V", "X"})]
+
+    # Resulting subsets: {A1, V} together, {A2, X} together, disjoint.
+    assert alignment.dim_of(("A", 1)) == alignment.dim_of(("V", 1))
+    assert alignment.dim_of(("A", 2)) == alignment.dim_of(("X", 1))
+    assert alignment.dim_of(("A", 1)) != alignment.dim_of(("A", 2))

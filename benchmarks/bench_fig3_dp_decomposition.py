@@ -1,0 +1,52 @@
+"""F3 — Fig 3: total execution time decomposition for two Do-loops.
+
+Fig 3 breaks one iteration into four stacked parts: Time(L1), the cost of
+changing layouts L1 -> L2, Time(L2), and the loop-carried communication.
+We regenerate the decomposition from Algorithm 1's tables for Jacobi and
+assert the paper's per-part values: Time1 = 2 m^2/N tf, Time2 = 3 m/N tf,
+CTime1 = 0, CTime2 ~ m tc.
+"""
+
+from __future__ import annotations
+
+from repro.dp import solve_program_distribution
+from repro.lang import jacobi_program
+from repro.machine.model import MachineModel
+from repro.util.tables import Table
+
+M, N = 256, 16
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def build():
+    tables, result = solve_program_distribution(
+        jacobi_program(), N, {"m": M, "maxiter": 1}, MODEL
+    )
+    parts = [
+        ("Execution time for L1 (Time1)", result.segment_costs[0]),
+        ("Layout change L1 -> L2 (CTime1)", result.change_costs[0]),
+        ("Execution time for L2 (Time2)", result.segment_costs[1]),
+        ("Loop-carried dependence (CTime2)", result.loop_carried),
+    ]
+    return tables, result, parts
+
+
+def test_fig3_two_loop_decomposition(benchmark, emit):
+    tables, result, parts = benchmark(build)
+
+    table = Table(
+        ["component", "cost"],
+        title=f"Fig 3 — per-iteration decomposition (Jacobi, m={M}, N={N})",
+    )
+    for name, value in parts:
+        table.add_row([name, f"{value:g}"])
+    table.add_row(["TOTAL", f"{result.cost:g}"])
+    emit("fig3_dp_decomposition", table.render())
+
+    named = dict(parts)
+    assert named["Execution time for L1 (Time1)"] == 2 * M * M / N
+    assert named["Execution time for L2 (Time2)"] == 3 * M / N
+    assert named["Layout change L1 -> L2 (CTime1)"] == 0
+    # CTime2 = ManyToManyMulticast(m/N, N) = (N-1)/N * m * tc ~ m tc.
+    assert named["Loop-carried dependence (CTime2)"] == (N - 1) * (M / N) * 10
+    assert result.cost == sum(v for _, v in parts)

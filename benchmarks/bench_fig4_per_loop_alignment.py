@@ -1,0 +1,53 @@
+"""F4 — Fig 4: per-loop component alignments of Jacobi's L1 and L2.
+
+Fig 4 (a): in L1, {A1, V} vs {A2, X}.  Fig 4 (b): in L2, all of
+{A1, V, B, X} co-aligned on one grid dimension with A2 alone on the
+other.  Regenerated from the per-segment CAGs built for Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from repro.dp import build_phase_tables
+from repro.lang import jacobi_program
+from repro.machine.model import MachineModel
+
+
+def build():
+    tables = build_phase_tables(
+        jacobi_program(), 16, {"m": 256, "maxiter": 1}, MachineModel(tf=1, tc=10)
+    )
+    return tables.entry(1, 1), tables.entry(2, 1)
+
+
+def test_fig4_per_loop_alignments(benchmark, emit):
+    e1, e2 = benchmark(build)
+    text = (
+        "Fig 4 (a) — L1 alignment:\n"
+        + e1.cag.render()
+        + "\n"
+        + e1.alignment.describe(e1.cag)
+        + "\n\nFig 4 (b) — L2 alignment:\n"
+        + e2.cag.render()
+        + "\n"
+        + e2.alignment.describe(e2.cag)
+    )
+    emit("fig4_per_loop_alignment", text)
+
+    # L1 (Fig 4 a): A1 with V; A2 with X; B absent from L1.
+    a1 = e1.alignment
+    assert a1.dim_of(("A", 1)) == a1.dim_of(("V", 1))
+    assert a1.dim_of(("A", 2)) == a1.dim_of(("X", 1))
+    assert ("B", 1) not in dict(a1.assignment)
+
+    # L2 (Fig 4 b): everything except A2 on one dimension.
+    a2 = e2.alignment
+    side = a2.dim_of(("A", 1))
+    for node in (("V", 1), ("B", 1), ("X", 1)):
+        assert a2.dim_of(node) == side
+    assert a2.dim_of(("A", 2)) != side
+    # Only edges incident to A2 (the diagonal reference A(i,i), whose two
+    # dimensions can never co-align) are cut — everything else co-aligns.
+    cut_edges = [
+        e for e in e2.cag.edges.values() if a2.dim_of(e.u) != a2.dim_of(e.v)
+    ]
+    assert cut_edges and all(("A", 2) in (e.u, e.v) for e in cut_edges)

@@ -1,0 +1,60 @@
+"""F5 — Fig 5: the pipelined SOR schedule for A(16x16) on a 4-ring.
+
+Regenerates the step table from an actual traced run of the pipelined
+kernel (one sweep), checks its structural invariants (every X once, in
+order, wavefront monotone), the paper's landmark cells (X(1) on P0 at
+step N+1), and that the simulated makespan respects the paper's
+(m + N)(2 (m/N) tf + 2 tc) bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel import sor_pipelined_time
+from repro.kernels import make_spd_system, sor_pipelined
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.pipeline.sor_schedule import (
+    render_schedule,
+    schedule_properties,
+    sor_schedule_from_trace,
+)
+
+M, N = 16, 4
+MODEL = MachineModel(tf=1, tc=1)
+
+
+def build():
+    A, b, _ = make_spd_system(M, seed=2)
+    res = run_spmd(
+        sor_pipelined, Ring(N), MODEL, args=(A, b, np.zeros(M), 1.0, 1), trace=True
+    )
+    cells = sor_schedule_from_trace(res.trace, M, N)
+    return res, cells
+
+
+def test_fig5_sor_pipeline_schedule(benchmark, emit):
+    res, cells = benchmark(build)
+    emit(
+        "fig5_sor_schedule",
+        f"Fig 5 — pipelined SOR schedule, A(16x16) X = B on a 4-ring "
+        f"(makespan {res.makespan:g})\n"
+        + render_schedule(cells, N),
+    )
+
+    props = schedule_properties(cells, M, N)
+    assert props["every_x_once"]
+    assert props["per_proc_ordered"]
+    assert props["row_wavefront"]
+
+    # Landmark cells of the paper's figure.
+    by_label = {c.label: c for c in cells}
+    assert by_label["X(1)"].proc == 0 and by_label["X(1)"].step == N + 1
+    assert by_label["A(1,13..16)"].proc == 3
+    # X updates happen on the owner of the corresponding column block.
+    for i in range(1, M + 1):
+        assert by_label[f"X({i})"].proc == (i - 1) // (M // N)
+
+    # Makespan bound (plus the final allgather the kernel appends).
+    bound = sor_pipelined_time(M, N, MODEL).total + 2 * M * MODEL.tc
+    assert res.makespan <= bound

@@ -1,0 +1,60 @@
+"""F7 — Fig 7: component affinity graph and alignment for Gauss
+elimination.
+
+Regenerates the whole-program CAG of the §6 listing and the suggested
+alignment: {A1, L1, B, V} vs {A2, L2, X}; the paper then chooses a
+processor ring (N2 = 1) partitioned along the first dimension with
+*cyclic* distribution because the iteration space is triangular.
+"""
+
+from __future__ import annotations
+
+from repro.alignment import alignment_to_scheme, build_cag, exact_alignment
+from repro.distribution.function import Kind
+from repro.lang import gauss_program
+from repro.machine.model import MachineModel
+
+
+def build(m: int = 128, nprocs: int = 8):
+    program = gauss_program()
+    cag = build_cag(
+        program.body, program, {"m": m}, MachineModel(tf=1, tc=10), nprocs=nprocs
+    )
+    alignment = exact_alignment(cag, q=2)
+    scheme = alignment_to_scheme(
+        alignment,
+        cag,
+        kinds={name: Kind.CYCLIC for name in cag.arrays},  # triangular space
+        name="gauss-ring",
+    )
+    return cag, alignment, scheme
+
+
+def test_fig7_gauss_cag(benchmark, emit):
+    cag, alignment, scheme = benchmark(build)
+    emit(
+        "fig7_cag_gauss",
+        cag.render(title="Fig 7 — component affinity graph of Gauss elimination")
+        + "\n\nalignment: "
+        + alignment.describe(cag)
+        + "\nscheme: "
+        + scheme.describe(),
+    )
+
+    # Fig 7's suggested alignment.
+    side1 = alignment.dim_of(("A", 1))
+    for node in (("L", 1), ("B", 1), ("V", 1)):
+        assert alignment.dim_of(node) == side1
+    side2 = alignment.dim_of(("A", 2))
+    for node in (("L", 2), ("X", 1)):
+        assert alignment.dim_of(node) == side2
+    assert side1 != side2
+
+    # Cyclic partitioning for the triangular iteration space (§6).
+    assert scheme.placement("A").kinds == (Kind.CYCLIC, Kind.CYCLIC)
+    assert scheme.placement("B").kinds == (Kind.CYCLIC,)
+
+    # The heaviest edges are the triangularization matrix edges, which is
+    # why the paper says lines 2-8 "prefer a 2-D grid".
+    top = cag.edge_list()[0]
+    assert {top.u[0], top.v[0]} <= {"A", "L"}

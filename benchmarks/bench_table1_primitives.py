@@ -1,0 +1,134 @@
+"""T1 — Table 1: communication-primitive costs on the hypercube.
+
+Regenerates the paper's cost table twice: analytically (the
+:class:`~repro.costmodel.primitives.CommCosts` formulas) and *measured*
+on the simulator's hypercube, then checks the asymptotic shapes —
+Transfer/Shift linear in m; OneToManyMulticast/Reduction/AffineTransform
+O(m log P); Scatter/Gather/ManyToManyMulticast O(m P).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.costmodel import CommCosts
+from repro.machine import Hypercube, run_spmd
+from repro.machine.collectives import (
+    affine_transform,
+    allgather,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+    shift,
+)
+from repro.util.tables import Table
+
+
+def measured_costs(m: int, dim: int, model):
+    """Simulated makespan of each primitive, m words, 2**dim processors."""
+    topo = Hypercube(dim)
+    group = tuple(range(topo.size))
+    payload = np.zeros(m)
+
+    def t_transfer(p):
+        if p.rank == 0:
+            p.send(topo.size - 1, payload)
+        elif p.rank == topo.size - 1:
+            yield from p.recv(0)
+
+    def t_shift(p):
+        yield from shift(p, payload, group)
+
+    def t_bcast(p):
+        yield from bcast(p, payload if p.rank == 0 else None, root=0, group=group)
+
+    def t_reduce(p):
+        yield from reduce(p, payload.copy(), root=0, group=group)
+
+    def t_affine(p):
+        yield from affine_transform(p, payload, group, lambda i: (i + 1) % len(group))
+
+    def t_scatter(p):
+        items = [payload] * len(group) if p.rank == 0 else None
+        yield from scatter(p, items, root=0, group=group)
+
+    def t_gather(p):
+        yield from gather(p, payload, root=0, group=group)
+
+    def t_allgather(p):
+        yield from allgather(p, payload, group)
+
+    out = {}
+    for name, prog in [
+        ("Transfer", t_transfer),
+        ("Shift", t_shift),
+        ("OneToManyMulticast", t_bcast),
+        ("Reduction", t_reduce),
+        ("AffineTransform", t_affine),
+        ("Scatter", t_scatter),
+        ("Gather", t_gather),
+        ("ManyToManyMulticast", t_allgather),
+    ]:
+        out[name] = run_spmd(prog, topo, model).makespan
+    return out
+
+
+def analytic_costs(m: int, nprocs: int, model):
+    c = CommCosts(model)
+    return {
+        "Transfer": c.transfer(m),
+        "Shift": c.shift(m),
+        "OneToManyMulticast": c.one_to_many(m, nprocs),
+        "Reduction": c.reduction(m, nprocs),
+        "AffineTransform": c.affine_transform(m, nprocs),
+        "Scatter": c.scatter(m, nprocs),
+        "Gather": c.gather(m, nprocs),
+        "ManyToManyMulticast": c.many_to_many(m, nprocs),
+    }
+
+
+def test_table1_primitive_costs(benchmark, emit, unit_model):
+    m, dim = 64, 4
+    P = 2**dim
+
+    measured = benchmark(measured_costs, m, dim, unit_model)
+    analytic = analytic_costs(m, P, unit_model)
+
+    table = Table(
+        ["Primitive", "paper cost", "analytic", "simulated"],
+        title=f"Table 1 — primitive costs (m={m} words, P={P} hypercube, tc=1)",
+    )
+    shapes = {
+        "Transfer": "O(m)",
+        "Shift": "O(m)",
+        "OneToManyMulticast": "O(m log P)",
+        "Reduction": "O(m log P)",
+        "AffineTransform": "O(m log P)",
+        "Scatter": "O(m P)",
+        "Gather": "O(m P)",
+        "ManyToManyMulticast": "O(m P)",
+    }
+    for name in shapes:
+        table.add_row([name, shapes[name], f"{analytic[name]:g}", f"{measured[name]:g}"])
+    emit("table1_primitives", table.render())
+
+    # --- shape assertions -------------------------------------------------
+    # Linear primitives scale with m.
+    measured_2m = measured_costs(2 * m, dim, unit_model)
+    for name in ("Transfer", "Shift"):
+        assert 1.8 <= measured_2m[name] / measured[name] <= 2.2
+    # Logarithmic collectives scale with log P.
+    small = measured_costs(m, 2, unit_model)
+    for name in ("OneToManyMulticast", "Reduction"):
+        grow = measured[name] / small[name]
+        assert 1.5 <= grow <= 2.5  # log 16 / log 4 = 2
+    # Linear-in-P collectives grow ~4x from P=4 to P=16.
+    for name in ("Gather", "ManyToManyMulticast"):
+        grow = measured[name] / small[name]
+        assert 3.0 <= grow <= 6.0
+    # Within a machine size: log collectives cheaper than linear ones.
+    assert measured["OneToManyMulticast"] < measured["ManyToManyMulticast"]
+    assert measured["Reduction"] < measured["Gather"]

@@ -1,0 +1,52 @@
+"""T4 — Table 4: data layout of the §5 parallel SOR on 4 processors.
+
+Column blocks of A plus the matching B/X elements; V replicated.  The
+layout is derived from the §5 component alignment at grid (1, N) and
+rendered as the paper's per-processor listing.
+"""
+
+from __future__ import annotations
+
+from repro.alignment import build_cag, exact_alignment
+from repro.distribution import Dist1D, Dist2D
+from repro.distribution.layout import ownership_table
+from repro.lang import sor_program
+from repro.machine.model import MachineModel
+
+
+def build_artifacts():
+    m = n = 4
+    entries = [
+        ("A", Dist2D.col_blocks(m, m, n)),
+        ("B", Dist1D.block_dist(m, n)),
+        ("X", Dist1D.block_dist(m, n)),
+        ("V", Dist1D.replicated(m)),
+    ]
+    layout = ownership_table(
+        entries,
+        n,
+        title="Table 4 — parallel SOR layout, A(4x4) X = B on 4 processors",
+    )
+    program = sor_program()
+    cag = build_cag(
+        program.loops()[0].body, program, {"m": 256, "maxiter": 1},
+        MachineModel(tf=1, tc=10), nprocs=16,
+    )
+    alignment = exact_alignment(cag, q=2)
+    return layout, cag, alignment
+
+
+def test_table4_sor_layout(benchmark, emit):
+    layout, cag, alignment = benchmark(build_artifacts)
+    emit("table4_sor_layout", layout + "\n\nalignment: " + alignment.describe(cag))
+
+    # Processor j-1 holds column j of A and the j-th B/X elements.
+    assert "A11 A21 A31 A41" in layout  # column 1 on processor 0
+    assert "A14 A24 A34 A44" in layout  # column 4 on processor 3
+    assert "(V1 V2 V3 V4)" in layout  # V replicated
+
+    # §5's alignment: {A1, V} vs {A2, X} on different grid dimensions
+    # (choosing N1=1 then puts A's columns across the machine).
+    assert alignment.dim_of(("A", 1)) == alignment.dim_of(("V", 1))
+    assert alignment.dim_of(("A", 2)) == alignment.dim_of(("X", 1))
+    assert alignment.dim_of(("A", 1)) != alignment.dim_of(("A", 2))

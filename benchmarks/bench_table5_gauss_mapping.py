@@ -1,0 +1,46 @@
+"""T5 — Table 5: dependence information and index-processor mapping for
+Gauss elimination.
+
+Regenerates the token table (token, use-index family, virtual-PE mapping,
+dependence-vector dot products, used-in-PEs) from the dependence analysis
+and checks it against the paper's rows: B(i)/A(i,j)/L(i,k)/V(i) are local
+at PE (i-1) mod N; B(k)/A(k,j)/X(j) reach "all PEs" with dot product 1 —
+hence pipelinable by Shift.
+"""
+
+from __future__ import annotations
+
+from repro.lang import gauss_program
+from repro.pipeline.mapping import choose_mapping, mapping_table
+
+
+def build_table():
+    program = gauss_program()
+    tri = program.loops()[0]
+    back = program.loops()[2]
+    choice_tri = choose_mapping(tri)
+    choice_back = choose_mapping(back)
+    return choice_tri, choice_back, mapping_table([choice_tri, choice_back])
+
+
+def test_table5_gauss_dependence_mapping(benchmark, emit):
+    choice_tri, choice_back, text = benchmark(build_table)
+    emit("table5_gauss_mapping", "Table 5 — Gauss token analysis\n" + text)
+
+    rows = {str(r.token.site.ref): r for r in choice_tri.rows}
+    rows.update({str(r.token.site.ref): r for r in choice_back.rows})
+
+    # Paper Table 5, row for row.
+    assert rows["B(k)"].pattern == "pipeline" and rows["B(k)"].dots == (1,)
+    assert rows["A(k, j)"].pattern == "pipeline" and rows["A(k, j)"].dots == (1,)
+    assert rows["X(j)"].pattern == "pipeline" and rows["X(j)"].dots == (1,)
+    assert rows["A(i, k)"].pattern == "local"
+    assert rows["L(i, k)"].pattern == "local"
+    assert rows["V(j)"].pattern == "local"
+    assert "(i - 1) mod N" in rows["A(i, k)"].used_in_pes()
+    assert rows["B(k)"].used_in_pes() == "all PEs"
+
+    # No token requires a true multicast: the §6 precondition for
+    # substituting every OneToManyMulticast with Shift.
+    assert choice_tri.broadcasts == 0
+    assert choice_back.broadcasts == 0

@@ -1,0 +1,67 @@
+"""X2 — §5 headline: naive vs pipelined SOR.
+
+Sweeps m and N measuring both SOR schedules on the simulator; the
+pipelined version must win everywhere in the paper's regime and its
+advantage must grow with N (the naive schedule pays log N per row).
+Includes the §5 closing remark as an ablation: overlapping computation
+with communication (``MachineModel(overlap=True)``) reduces the total
+time further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel import sor_naive_time, sor_pipelined_time
+from repro.kernels import make_spd_system, sor_naive, sor_pipelined
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.util.tables import Table
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def sweep():
+    iters = 2
+    rows = []
+    for m, n in [(32, 2), (32, 4), (64, 4), (64, 8), (128, 8), (128, 16)]:
+        A, b, _ = make_spd_system(m, seed=m * n)
+        x0 = np.zeros(m)
+        args = (A, b, x0, 1.0, iters)
+        t_naive = run_spmd(sor_naive, Ring(n), MODEL, args=args).makespan / iters
+        t_pipe = run_spmd(sor_pipelined, Ring(n), MODEL, args=args).makespan / iters
+        overlap = MachineModel(tf=1, tc=10, overlap=True)
+        t_pipe_ov = run_spmd(sor_pipelined, Ring(n), overlap, args=args).makespan / iters
+        rows.append((m, n, t_naive, t_pipe, t_pipe_ov))
+    return rows
+
+
+def test_x2_sor_pipeline_speedup(benchmark, emit):
+    rows = benchmark(sweep)
+    table = Table(
+        ["m", "N", "naive", "pipelined", "pipelined+overlap", "speedup",
+         "analytic naive", "analytic pipe"],
+        title="X2 — SOR schedules, per-iteration simulated time",
+    )
+    for m, n, t_naive, t_pipe, t_ov in rows:
+        table.add_row(
+            [
+                m, n, f"{t_naive:g}", f"{t_pipe:g}", f"{t_ov:g}",
+                f"{t_naive / t_pipe:.2f}x",
+                f"{sor_naive_time(m, n, MODEL).total:g}",
+                f"{sor_pipelined_time(m, n, MODEL).total:g}",
+            ]
+        )
+    emit("x2_sor_pipeline_speedup", table.render())
+
+    speedups = {}
+    for m, n, t_naive, t_pipe, t_ov in rows:
+        assert t_pipe < t_naive, (m, n)
+        # §5's closing remark: overlap reduces the time further.
+        assert t_ov <= t_pipe, (m, n)
+        speedups[(m, n)] = t_naive / t_pipe
+    # Advantage grows with N at fixed m.
+    assert speedups[(64, 8)] > speedups[(64, 4)]
+    assert speedups[(128, 16)] > speedups[(128, 8)]
+    # Analytic model predicts the winner at every point.
+    for m, n, *_ in rows:
+        assert sor_pipelined_time(m, n, MODEL).total < sor_naive_time(m, n, MODEL).total

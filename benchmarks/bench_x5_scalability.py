@@ -1,0 +1,72 @@
+"""X5 — speedup curves: all three kernels over a processor sweep.
+
+The hypercube-era sanity check the paper's Table 2 reasoning implies:
+at fixed problem size, speedup grows with N until communication
+(log-factor collectives, pipeline fill, loop-carried multicasts)
+saturates it.  We measure parallel speedup T(1)/T(N) for the best
+variant of each algorithm and check monotonicity at the small end plus
+the expected efficiency decay at the large end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import (
+    gauss_pipelined,
+    jacobi_rowdist,
+    make_spd_system,
+    sor_pipelined,
+)
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.util.tables import Table
+
+MODEL = MachineModel(tf=1, tc=10)
+NS = [1, 2, 4, 8, 16]
+
+
+def sweep():
+    m, iters = 64, 2
+    A, b, _ = make_spd_system(m, seed=12)
+    x0 = np.zeros(m)
+    curves: dict[str, dict[int, float]] = {}
+    for name, kernel, args in [
+        ("jacobi", jacobi_rowdist, (A, b, x0, iters)),
+        ("sor", sor_pipelined, (A, b, x0, 1.0, iters)),
+        ("gauss", gauss_pipelined, (A, b)),
+    ]:
+        curves[name] = {}
+        for n in NS:
+            curves[name][n] = run_spmd(kernel, Ring(n), MODEL, args=args).makespan
+    return m, curves
+
+
+def test_x5_speedup_curves(benchmark, emit):
+    m, curves = benchmark(sweep)
+    table = Table(
+        ["N"] + [f"{k} T" for k in curves] + [f"{k} speedup" for k in curves],
+        title=f"X5 — simulated speedup at m={m} (tf=1, tc=10)",
+    )
+    for n in NS:
+        row = [n]
+        for k in curves:
+            row.append(f"{curves[k][n]:g}")
+        for k in curves:
+            row.append(f"{curves[k][1] / curves[k][n]:.2f}x")
+        table.add_row(row)
+    emit("x5_scalability", table.render())
+
+    # Gauss is the most communication-bound of the three at this size
+    # (every pivot row crosses the whole ring), so its curve saturates
+    # earliest — exactly the Table 2-style tradeoff.
+    floors = {"jacobi": 3.0, "sor": 2.0, "gauss": 1.4}
+    for k, curve in curves.items():
+        # Speedup at the small end: 2 processors beat 1, 4 beat 2.
+        assert curve[2] < curve[1], k
+        assert curve[4] < curve[2], k
+        # Parallel efficiency decays: speedup(16) < 16 (comm overheads).
+        assert curve[1] / curve[16] < 16, k
+        assert curve[1] / curve[16] > floors[k], k
+    # Saturation order matches communication intensity.
+    sp = {k: curves[k][1] / curves[k][16] for k in curves}
+    assert sp["jacobi"] > sp["sor"] > sp["gauss"]

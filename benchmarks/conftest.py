@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+it (visible with ``pytest benchmarks/ -s``) and writes it to
+``benchmarks/artifacts/<id>.txt`` so EXPERIMENTS.md can reference stable
+outputs.  Shape assertions (who wins, crossovers) run inside the
+benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.machine.model import MachineModel
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture
+def emit(artifact_dir, request):
+    """Return a function writing (and printing) one named artifact."""
+
+    def _emit(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _emit
+
+
+@pytest.fixture
+def model() -> MachineModel:
+    """The paper-era cost model: communication 10x slower per word."""
+    return MachineModel(tf=1.0, tc=10.0)
+
+
+@pytest.fixture
+def unit_model() -> MachineModel:
+    return MachineModel(tf=1.0, tc=1.0)

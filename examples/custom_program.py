@@ -1,0 +1,72 @@
+"""Compile *your own* Do-loop program.
+
+Run:  python examples/custom_program.py
+
+The compiler keys on program structure, not names: this example writes a
+Jacobi-shaped solver with completely different identifiers, lets the
+recognizer find the pattern, prints the generated SPMD code, and runs it.
+It then demonstrates the diagnostics you get for an unsupported program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MachineModel, Ring, generate_spmd, load_generated, parse_program, run_spmd
+from repro.errors import CodegenError
+from repro.kernels import jacobi_seq, make_spd_system
+
+SOURCE = """\
+PROGRAM heatstep
+PARAM size, steps
+ARRAY Stiff(size, size), Resid(size), Load(size), Temp(size)
+DO t = 1, steps
+  DO row = 1, size
+    Resid(row) = 0.0
+    DO col = 1, size
+      Resid(row) = Resid(row) + Stiff(row, col) * Temp(col)
+    END DO
+  END DO
+  DO row = 1, size
+    Temp(row) = Temp(row) + (Load(row) - Resid(row)) / Stiff(row, row)
+  END DO
+END DO
+END
+"""
+
+UNSUPPORTED = """\
+PROGRAM fancy
+PARAM n
+ARRAY A(n, n)
+DO i = 1, n
+  DO j = 1, n
+    A(i, j) = A(j, i)
+  END DO
+END DO
+END
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    gen = generate_spmd(program)
+    print(f"recognized '{program.name}' as {gen.strategy}; generated code:\n")
+    print(gen.source)
+
+    m, n, iters = 32, 4, 25
+    A, b, x_true = make_spd_system(m, seed=8)
+    env = {"Stiff": A, "Load": b, "X0": np.zeros(m), "iterations": iters}
+    res = run_spmd(load_generated(gen), Ring(n), MachineModel(tf=1, tc=10), args=(env,))
+    ref = jacobi_seq(A, b, np.zeros(m), iters)
+    print(f"makespan {res.makespan:,.0f}; matches reference: "
+          f"{np.allclose(res.value(0), ref)}")
+
+    print("\nan unsupported program fails loudly:")
+    try:
+        generate_spmd(parse_program(UNSUPPORTED))
+    except CodegenError as exc:
+        print(f"  CodegenError: {exc}")
+
+
+if __name__ == "__main__":
+    main()

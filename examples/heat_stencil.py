@@ -1,0 +1,75 @@
+"""Compiling a stencil sweep — the paper's "neighboring data" case (§1).
+
+Run:  python examples/heat_stencil.py
+
+The paper's opening classification: when dependent data only influence
+*neighboring* data, component alignment plus Shift communication
+suffices.  This example writes an explicit 1-D heat-diffusion time
+stepper in the DSL, lets the compiler recognize it as a parallel stencil
+sweep (verifying with the dependence analyzer that nothing is carried),
+and runs the generated halo-exchange SPMD program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MachineModel, Ring, generate_spmd, load_generated, parse_program, run_spmd
+
+SOURCE = """\
+PROGRAM heat
+PARAM m, steps
+SCALAR alpha
+ARRAY Unew(m), Uold(m)
+DO t = 1, steps
+  DO i = 2, m - 1
+    Unew(i) = Uold(i) + alpha * (Uold(i - 1) - 2 * Uold(i) + Uold(i + 1))
+  END DO
+  DO i = 2, m - 1
+    Uold(i) = Unew(i)
+  END DO
+END DO
+END
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    gen = generate_spmd(program)
+    print(f"recognized as: {gen.strategy}")
+    print("halo widths:", gen.pattern.halo)
+    print("\ngenerated SPMD program:\n")
+    print(gen.source)
+
+    m, steps, alpha, nprocs = 64, 60, 0.25, 8
+    u0 = np.zeros(m)
+    u0[m // 2 - 2 : m // 2 + 2] = 1.0  # a heat pulse in the middle
+
+    fn = load_generated(gen)
+    env = {"m": m, "steps": steps, "alpha": alpha,
+           "Unew": np.zeros(m), "Uold": u0.copy()}
+    res = run_spmd(fn, Ring(nprocs), MachineModel(tf=1, tc=10), args=(env,))
+    u = res.value(0)["Uold"]
+
+    # Sequential reference.
+    ref = u0.copy()
+    for _ in range(steps):
+        nxt = ref.copy()
+        nxt[1 : m - 1] = ref[1 : m - 1] + alpha * (ref[: m - 2] - 2 * ref[1 : m - 1] + ref[2:])
+        ref = nxt
+    print(f"simulated run: makespan {res.makespan:,.0f}, "
+          f"{res.message_count} messages ({res.message_words} words)")
+    print(f"max |error| vs sequential: {np.max(np.abs(u - ref)):.2e}")
+    assert np.allclose(u, ref)
+
+    # A crude temperature profile.
+    peak = float(u.max())
+    print("\nfinal profile:")
+    for row in range(6, -1, -1):
+        level = peak * row / 7
+        print("  " + "".join("#" if v > level else " " for v in u))
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: the whole paper pipeline on Jacobi's algorithm in ~60 lines.
+
+Run:  python examples/quickstart.py
+
+Steps
+-----
+1. parse the Fortran-style Do-loop source (§3's listing);
+2. build the component affinity graph and align it (§3);
+3. run Algorithm 1, the dynamic program over distribution schemes (§4);
+4. generate an SPMD message-passing program (the Fig 6/Table 3 analogue);
+5. execute it on the simulated distributed-memory machine and check the
+   answer against NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MachineModel,
+    Ring,
+    generate_spmd,
+    jacobi_program,
+    load_generated,
+    run_spmd,
+    solve_program_distribution,
+)
+from repro.alignment import build_cag, exact_alignment
+from repro.kernels import make_spd_system
+
+M, NPROCS, ITERS = 64, 8, 40
+MODEL = MachineModel(tf=1.0, tc=10.0)
+
+
+def main() -> None:
+    program = jacobi_program()
+    print(f"program: {program.name}, arrays {list(program.arrays)}")
+
+    # --- §3: component alignment ----------------------------------------
+    cag = build_cag(
+        program.loops()[0].body, program, {"m": M, "maxiter": 1}, MODEL, NPROCS
+    )
+    alignment = exact_alignment(cag, q=2)
+    print("\ncomponent affinity graph:")
+    print(cag.render())
+    print("alignment:", alignment.describe(cag))
+
+    # --- §4: Algorithm 1 ---------------------------------------------------
+    tables, result = solve_program_distribution(
+        program, NPROCS, {"m": M, "maxiter": 1}, MODEL
+    )
+    print("\nAlgorithm 1:", result.describe())
+
+    # --- codegen + simulated execution --------------------------------------
+    gen = generate_spmd(program)
+    print(f"\ngenerated strategy: {gen.strategy}")
+    spmd = load_generated(gen)
+
+    A, b, x_true = make_spd_system(M, seed=0)
+    env = {"A": A, "B": b, "X0": np.zeros(M), "iterations": ITERS}
+    res = run_spmd(spmd, Ring(NPROCS), MODEL, args=(env,))
+
+    err = np.max(np.abs(res.value(0) - x_true))
+    print(f"\nsimulated run: makespan {res.makespan:,.0f} time units, "
+          f"{res.message_count} messages, {res.message_words} words")
+    print(f"solution error vs numpy after {ITERS} sweeps: {err:.2e}")
+    assert err < 1e-6, "Jacobi failed to converge — unexpected"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

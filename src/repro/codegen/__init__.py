@@ -1,0 +1,30 @@
+"""SPMD code generation (paper Figs 6 and 8).
+
+The generator recognizes the paper's program classes structurally in the
+IR (:mod:`~repro.codegen.patterns`), picks a strategy (data-parallel
+blocks, ring pipeline, cyclic pipeline) justified by the alignment and
+dependence analyses, and emits a runnable Python SPMD program targeting
+the :mod:`repro.machine` runtime (:mod:`~repro.codegen.spmd`).
+"""
+
+from repro.codegen.patterns import (
+    GaussPattern,
+    IterativeSolvePattern,
+    MatmulPattern,
+    match_gauss,
+    match_iterative_solve,
+    match_matmul,
+)
+from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
+
+__all__ = [
+    "IterativeSolvePattern",
+    "GaussPattern",
+    "MatmulPattern",
+    "match_iterative_solve",
+    "match_gauss",
+    "match_matmul",
+    "GeneratedProgram",
+    "generate_spmd",
+    "load_generated",
+]

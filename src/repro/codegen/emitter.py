@@ -1,0 +1,46 @@
+"""A small indented-source emitter used by the SPMD code generator."""
+
+from __future__ import annotations
+
+
+class CodeWriter:
+    """Accumulates Python source with indentation management."""
+
+    def __init__(self, indent_unit: str = "    ") -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+        self._unit = indent_unit
+
+    def line(self, text: str = "") -> "CodeWriter":
+        if text:
+            self._lines.append(self._unit * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        for t in texts:
+            self.line(t)
+        return self
+
+    def blank(self) -> "CodeWriter":
+        return self.line("")
+
+    class _Block:
+        def __init__(self, writer: "CodeWriter") -> None:
+            self.writer = writer
+
+        def __enter__(self) -> "CodeWriter":
+            self.writer._depth += 1
+            return self.writer
+
+        def __exit__(self, *exc) -> None:
+            self.writer._depth -= 1
+
+    def block(self, header: str) -> "_Block":
+        """``with w.block("for i in range(n):"):`` — emits header, indents."""
+        self.line(header)
+        return CodeWriter._Block(self)
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"

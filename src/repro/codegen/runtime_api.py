@@ -1,0 +1,39 @@
+"""Runtime surface available to generated SPMD code.
+
+Generated programs are ``exec``'d with exactly this namespace — NumPy and
+the paper's communication primitives — so the emitted source documents
+its dependencies honestly and cannot accidentally capture library
+internals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+    shift,
+)
+
+RUNTIME_NAMESPACE = {
+    "np": np,
+    "allgather": allgather,
+    "allreduce": allreduce,
+    "barrier": barrier,
+    "bcast": bcast,
+    "gather": gather,
+    "reduce": reduce,
+    "scatter": scatter,
+    "shift": shift,
+}
+
+
+def runtime_namespace() -> dict:
+    """A fresh copy of the exec namespace for one generated module."""
+    return dict(RUNTIME_NAMESPACE)

@@ -1,0 +1,28 @@
+"""Analytic cost model: Table 1 primitives, loop-nest costs, grid search."""
+
+from repro.costmodel.primitives import CommCosts
+from repro.costmodel.formulas import (
+    gauss_broadcast_time,
+    gauss_pipelined_time,
+    jacobi_dp_time,
+    jacobi_section3_time,
+    sor_naive_time,
+    sor_pipelined_time,
+)
+from repro.costmodel.loopcost import CostTerm, LoopCost, estimate_loop_cost
+from repro.costmodel.gridsearch import best_grid, grid_candidates
+
+__all__ = [
+    "CommCosts",
+    "jacobi_section3_time",
+    "jacobi_dp_time",
+    "sor_naive_time",
+    "sor_pipelined_time",
+    "gauss_broadcast_time",
+    "gauss_pipelined_time",
+    "CostTerm",
+    "LoopCost",
+    "estimate_loop_cost",
+    "best_grid",
+    "grid_candidates",
+]

@@ -1,0 +1,386 @@
+"""Rule-based cost estimation of a loop nest under a distribution scheme.
+
+This is the compiler-side oracle feeding component-alignment edge weights
+(§3) and the dynamic-programming tables ``M_{i,j}`` (§4).  Given a loop
+nest, a :class:`~repro.distribution.schemes.Scheme`, a grid shape and the
+machine model, it predicts computation and communication time using the
+owner-computes rule and the Table 1 primitives.
+
+Rules (derived from the paper's worked examples; see DESIGN.md):
+
+* **computation** — flops of a statement times its execution count,
+  divided by the product of grid extents over all grid dimensions that
+  *split* the statement's iterations (a grid dimension splits when some
+  reference's distributed dimension is subscripted by a loop variable);
+
+* **reduction** — an accumulation statement (LHS appears identically in
+  the RHS) whose RHS is subscripted by a loop variable absent from the
+  LHS, along a distributed dimension, pays
+  ``Reduction(lhs_block, N_g)`` (Jacobi line 5);
+
+* **realignment** — an RHS reference whose distributed dimension is
+  driven by a loop variable that drives an *LHS* dimension mapped to a
+  different grid dimension pays
+  ``N_src x OneToManyMulticast(block, N_dst)`` (Jacobi line 8);
+
+* **offset shift** — same grid dimension but subscripts differing by a
+  nonzero constant pays ``Shift(block)`` (stencil patterns);
+
+* **pinned-element multicast** — an RHS element pinned to one position
+  along grid dimension ``g`` but read by LHS owners spanning ``g``
+  (a loop variable in the LHS's ``g``-subscript that is absent from the
+  RHS reference) pays ``OneToManyMulticast(1, N_g)`` per distinct
+  element (the naive Gauss broadcasts of §6).
+
+Loops carrying a sequential dependence (e.g. SOR's ``i`` loop) must be
+named in *sequential_vars*; their trip count multiplies the invocation
+count of reductions/realignments while dividing the per-invocation
+message size, reproducing §5's ``m x Reduction(1, N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.primitives import CommCosts
+from repro.distribution.schemes import Scheme
+from repro.errors import CostModelError
+from repro.lang.ast import ArrayRef, Assign, DoLoop, Stmt, array_refs, walk_exprs
+from repro.lang.ast import BinOp, Call, UnaryOp
+from repro.machine.model import MachineModel
+
+
+@dataclass(frozen=True)
+class CostTerm:
+    """One cost contribution, printable in the paper's notation."""
+
+    kind: str  # "comp" or "comm"
+    description: str
+    cost: float
+    line: int = -1
+
+    def __str__(self) -> str:
+        loc = f" (line {self.line})" if self.line >= 0 else ""
+        return f"{self.description}{loc} = {self.cost:g}"
+
+
+@dataclass
+class LoopCost:
+    """Estimated cost of one loop nest under one scheme."""
+
+    comp: float = 0.0
+    comm: float = 0.0
+    terms: list[CostTerm] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.comm
+
+    def add(self, term: CostTerm) -> None:
+        self.terms.append(term)
+        if term.kind == "comp":
+            self.comp += term.cost
+        else:
+            self.comm += term.cost
+
+
+def _count_flops(expr) -> int:
+    """Arithmetic operations in an expression tree."""
+    flops = 0
+    for node in walk_exprs(expr):
+        if isinstance(node, (BinOp, Call)):
+            flops += 1
+        elif isinstance(node, UnaryOp) and node.op == "-":
+            flops += 1
+    return flops
+
+
+@dataclass(frozen=True)
+class _LoopInfo:
+    var: str
+    trips: float
+
+
+def _loop_chain_info(loops: tuple[DoLoop, ...], env: dict[str, int]) -> list[_LoopInfo]:
+    """Average trip count per loop, binding outer vars to their midpoints."""
+    bind = dict(env)
+    infos: list[_LoopInfo] = []
+    for loop in loops:
+        lo = loop.lb.evaluate(bind)
+        hi = loop.ub.evaluate(bind)
+        if loop.step > 0:
+            trips = max(0, (hi - lo) // loop.step + 1)
+        else:
+            trips = max(0, (lo - hi) // (-loop.step) + 1)
+        infos.append(_LoopInfo(loop.var, float(trips)))
+        bind[loop.var] = (lo + hi) // 2  # midpoint for inner triangular bounds
+    return infos
+
+
+def _grid_extent(grid: tuple[int, int], g: int) -> int:
+    if g == 1:
+        return grid[0]
+    if g == 2:
+        return grid[1]
+    raise CostModelError(f"grid dimension must be 1 or 2, got {g}")
+
+
+def estimate_loop_cost(
+    nest: DoLoop | list[Stmt],
+    scheme: Scheme,
+    grid: tuple[int, int],
+    env: dict[str, int],
+    model: MachineModel,
+    sequential_vars: frozenset[str] | set[str] = frozenset(),
+) -> LoopCost:
+    """Estimate the cost of executing *nest* once under *scheme*."""
+    costs = CommCosts(model)
+    result = LoopCost()
+    stmts = nest.body if isinstance(nest, DoLoop) else list(nest)
+    outer = (nest,) if isinstance(nest, DoLoop) else ()
+    _walk(stmts, outer, scheme, grid, env, model, costs, sequential_vars, result)
+    return result
+
+
+def _walk(
+    stmts: list[Stmt],
+    loops: tuple[DoLoop, ...],
+    scheme: Scheme,
+    grid: tuple[int, int],
+    env: dict[str, int],
+    model: MachineModel,
+    costs: CommCosts,
+    sequential_vars: frozenset[str] | set[str],
+    result: LoopCost,
+) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, DoLoop):
+            _walk(
+                stmt.body, loops + (stmt,), scheme, grid, env, model, costs,
+                sequential_vars, result,
+            )
+        elif isinstance(stmt, Assign) and isinstance(stmt.lhs, ArrayRef):
+            _cost_assign(stmt, loops, scheme, grid, env, model, costs, sequential_vars, result)
+
+
+def _distinct_elements(ref: ArrayRef, infos: dict[str, float]) -> float:
+    """Distinct elements of *ref* touched over the nest (product of trips)."""
+    seen_vars: set[str] = set()
+    total = 1.0
+    for sub in ref.subscripts:
+        for var in sub.variables():
+            if var in infos and var not in seen_vars:
+                seen_vars.add(var)
+                total *= infos[var]
+    return total
+
+
+def _cost_assign(
+    stmt: Assign,
+    loops: tuple[DoLoop, ...],
+    scheme: Scheme,
+    grid: tuple[int, int],
+    env: dict[str, int],
+    model: MachineModel,
+    costs: CommCosts,
+    sequential_vars: frozenset[str] | set[str],
+    result: LoopCost,
+) -> None:
+    lhs = stmt.lhs
+    assert isinstance(lhs, ArrayRef)
+    infos = {i.var: i.trips for i in _loop_chain_info(loops, env)}
+    loop_vars = set(infos)
+    executions = 1.0
+    for trips in infos.values():
+        executions *= trips
+
+    known = set(scheme.arrays())
+    refs = [r for r in array_refs(stmt.rhs) if r.name in known]
+    if lhs.name not in known:
+        return
+    lhs_place = scheme.placement(lhs.name)
+
+    # ---- computation ---------------------------------------------------
+    # Owner computes: the work of a statement is split across the grid
+    # dimensions its LHS owners span.  An accumulation additionally splits
+    # across grid dimensions driven by its reduction variables (partial
+    # sums computed where the RHS data lives, then combined) — this is how
+    # the paper gets 2 m^2/(N1 N2) for Jacobi's line 5.
+    flops = _count_flops(stmt.rhs)
+    is_accum_stmt = any(
+        r.name == lhs.name and r.subscripts == lhs.subscripts for r in refs
+    )
+    lhs_sub_vars: set[str] = set()
+    for sub in lhs.subscripts:
+        lhs_sub_vars |= set(sub.variables()) & loop_vars
+    split_dims: set[int] = set()
+    for d, g in enumerate(lhs_place.dim_map):
+        if g is None or _grid_extent(grid, g) <= 1:
+            continue
+        if lhs.subscripts[d].variables() & loop_vars:
+            split_dims.add(g)
+    if is_accum_stmt:
+        for ref in refs:
+            if ref.name == lhs.name:
+                continue
+            place = scheme.placement(ref.name)
+            for d, g in enumerate(place.dim_map):
+                if g is None or _grid_extent(grid, g) <= 1:
+                    continue
+                sub_vars = ref.subscripts[d].variables() & loop_vars
+                if sub_vars and not (sub_vars & lhs_sub_vars):
+                    split_dims.add(g)  # reduction variable dimension
+    split = 1.0
+    for g in split_dims:
+        split *= _grid_extent(grid, g)
+    if flops:
+        comp = flops * executions / split * model.tf
+        result.add(
+            CostTerm(
+                "comp",
+                f"{flops} flops x {executions:g} iters / {split:g} procs",
+                comp,
+                stmt.line,
+            )
+        )
+
+    # ---- LHS-distributed loop variables and their grid dims -------------
+    lhs_var_dims: dict[str, int] = {}
+    for d, g in enumerate(lhs_place.dim_map):
+        if g is None or _grid_extent(grid, g) <= 1:
+            continue
+        for var in lhs.subscripts[d].variables():
+            if var in loop_vars:
+                lhs_var_dims[var] = g
+
+    seq_factor = 1.0
+    for var in sequential_vars:
+        if var in infos:
+            seq_factor *= infos[var]
+
+    lhs_distinct = _distinct_elements(lhs, infos)
+    lhs_procs = 1.0
+    for g in {g for g in lhs_var_dims.values()}:
+        lhs_procs *= _grid_extent(grid, g)
+
+    # ---- reduction rule --------------------------------------------------
+    if is_accum_stmt:
+        red_dims: set[int] = set()
+        for ref in refs:
+            if ref.name == lhs.name:
+                continue
+            place = scheme.placement(ref.name)
+            for d, g in enumerate(place.dim_map):
+                if g is None or _grid_extent(grid, g) <= 1:
+                    continue
+                for var in ref.subscripts[d].variables():
+                    if var in loop_vars and var not in lhs_var_dims and not any(
+                        var in s.variables() for s in lhs.subscripts
+                    ):
+                        red_dims.add(g)
+        for g in red_dims:
+            n = _grid_extent(grid, g)
+            words = max(lhs_distinct / max(lhs_procs, 1.0) / seq_factor, 1.0)
+            cost = seq_factor * costs.reduction(words, n)
+            result.add(
+                CostTerm(
+                    "comm",
+                    f"{seq_factor:g} x Reduction({words:g}, {n})",
+                    cost,
+                    stmt.line,
+                )
+            )
+
+    lhs_undistributed = not lhs_var_dims
+
+    # ---- per-RHS-reference rules ------------------------------------------
+    for ref in refs:
+        if ref.name == lhs.name and ref.subscripts == lhs.subscripts:
+            continue
+        place = scheme.placement(ref.name)
+        for d, g in enumerate(place.dim_map):
+            if g is None:
+                continue
+            n_src = _grid_extent(grid, g)
+            if n_src <= 1:
+                continue
+            sub = ref.subscripts[d]
+            sub_vars = sub.variables() & loop_vars
+
+            # Reduction variables are handled by the reduction rule above:
+            # the operand stays where it is and partial sums travel.
+            reduction_only = is_accum_stmt and sub_vars and not (sub_vars & lhs_sub_vars)
+
+            # LHS work is replicated (no distributed owner dimension): the
+            # distributed operand must be gathered everywhere first.
+            if lhs_undistributed and sub_vars and not reduction_only:
+                distinct = _distinct_elements(ref, infos)
+                words = max(distinct / n_src / seq_factor, 1.0)
+                cost = seq_factor * costs.many_to_many(words, n_src)
+                result.add(
+                    CostTerm(
+                        "comm",
+                        f"{seq_factor:g} x ManyToManyMulticast({words:g}, {n_src})",
+                        cost,
+                        stmt.line,
+                    )
+                )
+                continue
+
+            # pinned-element multicast (naive Gauss broadcasts)
+            lhs_spans_g = any(
+                gg == g and var not in sub_vars
+                for var, gg in lhs_var_dims.items()
+            )
+            if lhs_spans_g:
+                distinct = _distinct_elements(ref, infos)
+                cost = distinct * costs.one_to_many(1, n_src)
+                result.add(
+                    CostTerm(
+                        "comm",
+                        f"{distinct:g} x OneToManyMulticast(1, {n_src})",
+                        cost,
+                        stmt.line,
+                    )
+                )
+                continue
+
+            # alignment with an LHS dimension driven by the same variable
+            for var in sub_vars:
+                g_lhs = lhs_var_dims.get(var)
+                if g_lhs is None:
+                    continue  # reduction variable or LHS-undistributed: local
+                if g_lhs == g:
+                    # same grid dimension: check subscript offset
+                    for dl, gl in enumerate(lhs_place.dim_map):
+                        if gl != g:
+                            continue
+                        diff = sub - lhs.subscripts[dl]
+                        if diff.is_constant and diff.const != 0:
+                            distinct = _distinct_elements(ref, infos)
+                            words = max(distinct / n_src / seq_factor, 1.0)
+                            cost = seq_factor * costs.shift(words)
+                            result.add(
+                                CostTerm(
+                                    "comm",
+                                    f"{seq_factor:g} x Shift({words:g})",
+                                    cost,
+                                    stmt.line,
+                                )
+                            )
+                else:
+                    # realignment across grid dimensions
+                    n_dst = _grid_extent(grid, g_lhs)
+                    distinct = _distinct_elements(ref, infos)
+                    words = max(distinct / n_src / seq_factor, 1.0)
+                    if n_dst > 1:
+                        per = costs.one_to_many(words, n_dst)
+                        desc = (
+                            f"{seq_factor * n_src:g} x "
+                            f"OneToManyMulticast({words:g}, {n_dst})"
+                        )
+                    else:
+                        per = costs.transfer(words)
+                        desc = f"{seq_factor * n_src:g} x Transfer({words:g})"
+                    cost = seq_factor * n_src * per
+                    result.add(CostTerm("comm", desc, cost, stmt.line))

@@ -1,0 +1,84 @@
+"""Communication-primitive costs on the hypercube (paper Table 1).
+
++------------------------------+-------------------------+
+| primitive                    | cost on hypercube       |
++==============================+=========================+
+| Transfer(m)                  | O(m)                    |
+| Shift(m)                     | O(m)                    |
+| OneToManyMulticast(m, seq)   | O(m * log num(seq))     |
+| Reduction(m, seq)            | O(m * log num(seq))     |
+| AffineTransform(m, seq)      | O(m * log num(seq))     |
+| Scatter(m, seq)              | O(m * num(seq))         |
+| Gather(m, seq)               | O(m * num(seq))         |
+| ManyToManyMulticast(m, seq)  | O(m * num(seq))         |
++------------------------------+-------------------------+
+
+``m`` is the message size in words, ``num(seq)`` the number of processors
+the collective spans.  We realize the O(.) shapes with unit constants and
+the machine's per-word time ``tc`` (plus the optional per-message
+``alpha``), which is exactly how the paper evaluates Table 2 and §4-§6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+from repro.machine.model import MachineModel
+
+
+def _log2_ceil(n: int) -> int:
+    """Number of rounds of a binomial/recursive-doubling algorithm."""
+    if n < 1:
+        raise CostModelError(f"processor count must be >= 1, got {n}")
+    return max(0, math.ceil(math.log2(n)))
+
+
+@dataclass(frozen=True)
+class CommCosts:
+    """Analytic primitive costs for a given :class:`MachineModel`."""
+
+    model: MachineModel
+
+    def _msg(self, words: float) -> float:
+        return self.model.alpha + words * self.model.tc
+
+    # -- point to point ---------------------------------------------------
+    def transfer(self, m: float) -> float:
+        """Transfer(m): one message of m words to another processor."""
+        return self._msg(m)
+
+    def shift(self, m: float) -> float:
+        """Shift(m): circular shift among neighbors — one message each."""
+        return self._msg(m)
+
+    # -- logarithmic collectives -------------------------------------------
+    def one_to_many(self, m: float, nprocs: int) -> float:
+        """OneToManyMulticast(m, seq): binomial broadcast."""
+        return _log2_ceil(nprocs) * self._msg(m)
+
+    def reduction(self, m: float, nprocs: int) -> float:
+        """Reduction(m, seq): binomial combine (comm cost only)."""
+        return _log2_ceil(nprocs) * self._msg(m)
+
+    def affine_transform(self, m: float, nprocs: int) -> float:
+        """AffineTransform(m, seq): permutation routing, log-round cost."""
+        return _log2_ceil(nprocs) * self._msg(m)
+
+    # -- linear collectives -------------------------------------------------
+    def scatter(self, m: float, nprocs: int) -> float:
+        """Scatter(m, seq): root sends a distinct m-word message to each."""
+        return max(0, nprocs - 1) * self._msg(m)
+
+    def gather(self, m: float, nprocs: int) -> float:
+        """Gather(m, seq): root receives an m-word message from each."""
+        return max(0, nprocs - 1) * self._msg(m)
+
+    def many_to_many(self, m: float, nprocs: int) -> float:
+        """ManyToManyMulticast(m, seq): ring allgather, P-1 steps."""
+        return max(0, nprocs - 1) * self._msg(m)
+
+    # -- helpers used by the §3 formulas -------------------------------------
+    def log2(self, nprocs: int) -> int:
+        return _log2_ceil(nprocs)

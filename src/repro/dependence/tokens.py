@@ -1,0 +1,147 @@
+"""Per-token dependence information (paper §6, Table 5).
+
+A *token* is one right-hand-side array reference whose value must reach
+the processors executing the statement.  For a token inside an ``n``-deep
+loop nest with index vector ``I = (v1, ..., vn)``:
+
+* the **free variables** are the nest variables that do not appear in the
+  token's subscripts — successive uses of one token instance advance
+  along their unit directions (the paper's "used in indices
+  ``base + i*(0,1)^t``");
+* given an **index-processor mapping** row vector ``pi`` (iteration ``I``
+  executes on virtual processor ``pi . I``), the token's communication
+  pattern is decided by ``pi . e_v`` for each free direction ``e_v``:
+
+  - all zero: every use is on the *same* processor as the producer
+    (column "used in PEs: (i-1) mod N" in Table 5);
+  - exactly ``+1`` (or ``-1``) on one direction: successive uses are on
+    *neighboring* processors — the token can be **pipelined** with Shift
+    instead of broadcast;
+  - anything else: a multicast is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.analysis import RefSite, collect_ref_sites
+from repro.lang.ast import DoLoop
+
+
+@dataclass(frozen=True)
+class TokenInfo:
+    """Dependence information for one RHS token in a nest."""
+
+    site: RefSite
+    nest_vars: tuple[str, ...]  # outermost first
+    free_vars: tuple[str, ...]  # nest vars absent from the token's subscripts
+
+    @property
+    def array(self) -> str:
+        return self.site.array
+
+    @property
+    def line(self) -> int:
+        return self.site.line
+
+    def directions(self) -> tuple[tuple[int, ...], ...]:
+        """Unit iteration-space directions of successive uses."""
+        out = []
+        for v in self.free_vars:
+            out.append(tuple(1 if u == v else 0 for u in self.nest_vars))
+        return tuple(out)
+
+    def use_family(self) -> str:
+        """Human-readable use-index family, Table 5 style."""
+        base = []
+        for u in self.nest_vars:
+            base.append("0" if u in self.free_vars else u)
+        text = f"({', '.join(base)})^t"
+        for v in self.free_vars:
+            unit = ", ".join("1" if u == v else "0" for u in self.nest_vars)
+            text += f" + {v}*({unit})^t"
+        return text
+
+    def __str__(self) -> str:
+        return f"token {self.site.ref} at line {self.line}: uses {self.use_family()}"
+
+
+def analyze_tokens(nest: DoLoop, arrays: frozenset[str] | None = None) -> list[TokenInfo]:
+    """Tokens (RHS references) of *nest*, outermost-variable order.
+
+    *arrays* optionally restricts to the given array names.  References on
+    the left-hand side are producers, not tokens, and statements whose RHS
+    repeats the LHS reference (accumulations) contribute only their other
+    operands.
+    """
+    sites = collect_ref_sites([nest])
+    nest_vars_cache: dict[tuple[int, ...], tuple[str, ...]] = {}
+    tokens: list[TokenInfo] = []
+    for site in sites:
+        if site.is_write:
+            continue
+        if arrays is not None and site.array not in arrays:
+            continue
+        lhs = site.stmt.lhs
+        if (
+            hasattr(lhs, "name")
+            and getattr(lhs, "name", None) == site.array
+            and getattr(lhs, "subscripts", None) == site.ref.subscripts
+        ):
+            continue  # the accumulation operand itself
+        key = tuple(id(loop) for loop in site.loops)
+        nest_vars = nest_vars_cache.get(key)
+        if nest_vars is None:
+            nest_vars = tuple(loop.var for loop in site.loops)
+            nest_vars_cache[key] = nest_vars
+        sub_vars: set[str] = set()
+        for sub in site.ref.subscripts:
+            sub_vars |= set(sub.variables())
+        free = tuple(v for v in nest_vars if v not in sub_vars)
+        tokens.append(TokenInfo(site=site, nest_vars=nest_vars, free_vars=free))
+    return tokens
+
+
+@dataclass(frozen=True)
+class TokenClass:
+    """Communication classification of a token under a mapping."""
+
+    token: TokenInfo
+    mapping: tuple[int, ...]
+    dots: tuple[int, ...]  # pi . e_v for each free direction
+    pattern: str  # "local", "pipeline", or "broadcast"
+
+    def used_in_pes(self) -> str:
+        """Table 5's "used in PEs" column."""
+        if self.pattern == "local":
+            # The owner expression: pi . I restricted to bound variables.
+            bound = [
+                v
+                for v, c in zip(self.token.nest_vars, self.mapping)
+                if c != 0 and v not in self.token.free_vars
+            ]
+            if bound:
+                return f"({' + '.join(bound)} - 1) mod N"
+            return "single PE"
+        return "all PEs"
+
+
+def classify_token(token: TokenInfo, mapping: tuple[int, ...]) -> TokenClass:
+    """Classify *token* under index-processor *mapping* (a row vector).
+
+    The mapping vector has one entry per nest variable (outermost first)
+    and may be shorter than the token's nest (extra inner variables get
+    coefficient zero) — Table 5 mixes 2-deep and 3-deep statements.
+    """
+    pi = tuple(mapping) + (0,) * (len(token.nest_vars) - len(mapping))
+    dots = tuple(
+        sum(c * d for c, d in zip(pi, direction)) for direction in token.directions()
+    )
+    nonzero = [d for d in dots if d != 0]
+    if not nonzero:
+        pattern = "local"
+    elif len(nonzero) == 1 and abs(nonzero[0]) == 1:
+        pattern = "pipeline"
+    else:
+        pattern = "broadcast"
+    return TokenClass(token=token, mapping=pi, dots=dots, pattern=pattern)

@@ -1,0 +1,75 @@
+"""Dependence distance/direction vectors.
+
+A :class:`DistanceVector` has one entry per common enclosing loop
+(outermost first).  Entries are integers when the distance is known and
+``"*"`` when it is unknown (the conservative case).  Directions follow the
+usual convention: positive distance means the dependence flows from an
+earlier to a later iteration of that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Entry = Union[int, str]  # int distance or "*"
+
+
+@dataclass(frozen=True)
+class DistanceVector:
+    entries: tuple[Entry, ...]
+
+    def __post_init__(self) -> None:
+        for e in self.entries:
+            if not (isinstance(e, int) or e == "*"):
+                raise ValueError(f"invalid distance entry {e!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, idx: int) -> Entry:
+        return self.entries[idx]
+
+    @property
+    def is_zero(self) -> bool:
+        """Loop-independent dependence (all distances zero)."""
+        return all(e == 0 for e in self.entries)
+
+    def carried_level(self) -> int | None:
+        """Outermost loop level (0-based) carrying the dependence.
+
+        The carried level is the first entry that is nonzero or unknown;
+        ``None`` for a loop-independent dependence.
+        """
+        for level, e in enumerate(self.entries):
+            if e == "*" or e != 0:
+                return level
+        return None
+
+    def directions(self) -> tuple[str, ...]:
+        """Direction vector: ``<`` (positive), ``=``, ``>`` or ``*``."""
+        out = []
+        for e in self.entries:
+            if e == "*":
+                out.append("*")
+            elif e > 0:
+                out.append("<")
+            elif e < 0:
+                out.append(">")
+            else:
+                out.append("=")
+        return tuple(out)
+
+    def is_lexicographically_positive(self) -> bool:
+        """Valid (plausible) dependences are lexicographically non-negative."""
+        for e in self.entries:
+            if e == "*":
+                return True
+            if e > 0:
+                return True
+            if e < 0:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.entries) + ")"

@@ -1,0 +1,33 @@
+"""The paper's generalized data distribution functions (§2.1).
+
+* :class:`~repro.distribution.function.Dist1D` — 1-D distribution
+  function ``f_A(i) = floor((d*i + disp)/block) [mod N]`` or replication;
+* :class:`~repro.distribution.function2d.Dist2D` — 2-D distributions,
+  independent per dimension or *rotated* (Cannon-style skewing);
+* layout renderers reproducing Fig 1 and Tables 3-4;
+* :mod:`~repro.distribution.schemes` — whole-program distribution schemes
+  (the ``P_{i,j}`` objects of Algorithm 1);
+* :mod:`~repro.distribution.redistribution` — cost and plan of changing
+  layouts between loop nests (the ``cost(P, P')`` of Algorithm 1).
+"""
+
+from repro.distribution.function import Dist1D, Kind
+from repro.distribution.function2d import Coupling, Dist2D
+from repro.distribution.layout import layout_matrix, ownership_table, render_layout
+from repro.distribution.redistribution import redistribution_cost, replication_cost
+from repro.distribution.schemes import ArrayPlacement, Scheme, scheme_from_directives
+
+__all__ = [
+    "Dist1D",
+    "Kind",
+    "Dist2D",
+    "Coupling",
+    "layout_matrix",
+    "render_layout",
+    "ownership_table",
+    "Scheme",
+    "ArrayPlacement",
+    "scheme_from_directives",
+    "redistribution_cost",
+    "replication_cost",
+]

@@ -1,0 +1,231 @@
+"""1-D distribution functions (paper §2.1, Case 1).
+
+The paper's distribution function for a 1-D data array entry ``A(i)`` is::
+
+    f_A(i) = floor((d*i + disp) / block) [mod N]     (partitioned)
+    f_A(i) = ALL                                     (replicated)
+
+with ``d in {-1, +1}``; the optional ``mod N`` distinguishes *cyclic* from
+*contiguous* partitioning.  The function returns the coordinate along the
+grid dimension ``map(A)`` where ``A(i)`` is stored.
+
+This module implements the function family exactly, plus the local/global
+index bijections a runtime needs.  Array subscripts are 1-based as in
+Fortran and the paper's figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+
+class Kind(enum.Enum):
+    """Method of distribution/partition (paper parameters (1) and (2))."""
+
+    BLOCK = "block"  # contiguous
+    CYCLIC = "cyclic"  # block-cyclic; block=1 is pure cyclic
+    REPLICATED = "replicated"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Dist1D:
+    """A 1-D distribution function over subscripts ``1..extent``.
+
+    Parameters mirror the paper's six degrees of freedom:
+
+    * ``kind`` — partitioned (block or cyclic) vs. replicated;
+    * ``block`` — block size;
+    * ``direction`` — ``d``: +1 increasing, -1 decreasing indexing;
+    * ``disp`` — displacement applied to the subscript;
+    * ``nprocs`` — processors along the mapped grid dimension;
+    * ``grid_dim`` — which grid dimension the array dimension maps to.
+    """
+
+    extent: int
+    kind: Kind
+    nprocs: int = 1
+    block: int = 1
+    direction: int = 1
+    disp: int = 0
+    grid_dim: int = 1
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise DistributionError(f"extent must be >= 1, got {self.extent}")
+        if self.kind is Kind.REPLICATED:
+            return
+        if self.nprocs < 1:
+            raise DistributionError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.block < 1:
+            raise DistributionError(f"block must be >= 1, got {self.block}")
+        if self.direction not in (1, -1):
+            raise DistributionError(f"direction must be +-1, got {self.direction}")
+        if self.grid_dim < 1:
+            raise DistributionError(f"grid_dim must be >= 1, got {self.grid_dim}")
+        if self.kind is Kind.BLOCK:
+            # Contiguous: the image of 1..extent must fall inside [0, nprocs).
+            lo = self.owner(1)
+            hi = self.owner(self.extent)
+            for p in (lo, hi):
+                if not (0 <= p < self.nprocs):
+                    raise DistributionError(
+                        f"contiguous distribution maps subscripts outside the grid: "
+                        f"owner range [{min(lo, hi)}, {max(lo, hi)}] with N={self.nprocs}"
+                    )
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def block_dist(
+        extent: int, nprocs: int, grid_dim: int = 1, direction: int = 1
+    ) -> "Dist1D":
+        """Standard contiguous distribution ``floor((i-1)/ceil(extent/N))``.
+
+        With ``direction=-1`` the blocks are assigned in decreasing
+        subscript order (paper parameter (3)).
+        """
+        if nprocs < 1:
+            raise DistributionError(f"nprocs must be >= 1, got {nprocs}")
+        size = -(-extent // nprocs)  # ceil division
+        if direction == 1:
+            disp = -1
+        else:
+            # d=-1: f(i) = floor((extent - i) / size); extent maps to proc 0.
+            disp = extent
+        return Dist1D(
+            extent=extent,
+            kind=Kind.BLOCK,
+            nprocs=nprocs,
+            block=size,
+            direction=direction,
+            disp=disp,
+            grid_dim=grid_dim,
+        )
+
+    @staticmethod
+    def cyclic_dist(
+        extent: int,
+        nprocs: int,
+        block: int = 1,
+        grid_dim: int = 1,
+        direction: int = 1,
+    ) -> "Dist1D":
+        """Cyclic distribution ``floor((i-1)/block) mod N`` (paper §6)."""
+        disp = -1 if direction == 1 else extent
+        return Dist1D(
+            extent=extent,
+            kind=Kind.CYCLIC,
+            nprocs=nprocs,
+            block=block,
+            direction=direction,
+            disp=disp,
+            grid_dim=grid_dim,
+        )
+
+    @staticmethod
+    def replicated(extent: int) -> "Dist1D":
+        """Replication on all processors (small arrays, §2)."""
+        return Dist1D(extent=extent, kind=Kind.REPLICATED)
+
+    # -- the distribution function ----------------------------------------
+    @property
+    def is_replicated(self) -> bool:
+        return self.kind is Kind.REPLICATED
+
+    def owner(self, i: int) -> int | None:
+        """``f_A(i)``: grid coordinate storing ``A(i)``; None if replicated."""
+        if not (1 <= i <= self.extent):
+            raise DistributionError(f"subscript {i} outside 1..{self.extent}")
+        if self.kind is Kind.REPLICATED:
+            return None
+        x = self.direction * i + self.disp
+        q = x // self.block
+        if self.kind is Kind.CYCLIC:
+            return q % self.nprocs
+        return q
+
+    def owners(self) -> np.ndarray:
+        """Vector of owners for subscripts ``1..extent`` (replicated: -1)."""
+        if self.kind is Kind.REPLICATED:
+            return np.full(self.extent, -1, dtype=np.int64)
+        i = np.arange(1, self.extent + 1, dtype=np.int64)
+        q = np.floor_divide(self.direction * i + self.disp, self.block)
+        if self.kind is Kind.CYCLIC:
+            q = np.mod(q, self.nprocs)
+        return q
+
+    # -- local/global bijections -------------------------------------------
+    @cached_property
+    def _owned(self) -> list[np.ndarray]:
+        """For each processor, the ascending global subscripts it owns."""
+        if self.kind is Kind.REPLICATED:
+            return [np.arange(1, self.extent + 1, dtype=np.int64)]
+        owners = self.owners()
+        return [
+            (np.nonzero(owners == p)[0] + 1).astype(np.int64) for p in range(self.nprocs)
+        ]
+
+    def indices_of(self, p: int) -> np.ndarray:
+        """Global subscripts owned by processor *p*, ascending."""
+        if self.kind is Kind.REPLICATED:
+            return self._owned[0]
+        if not (0 <= p < self.nprocs):
+            raise DistributionError(f"processor {p} outside 0..{self.nprocs - 1}")
+        return self._owned[p]
+
+    def local_count(self, p: int) -> int:
+        """Number of elements processor *p* stores."""
+        return int(len(self.indices_of(p)))
+
+    def max_local_count(self) -> int:
+        """Size of the largest local block (load-balance denominator)."""
+        if self.kind is Kind.REPLICATED:
+            return self.extent
+        return max(self.local_count(p) for p in range(self.nprocs))
+
+    def local_index(self, i: int) -> int:
+        """0-based position of global subscript *i* in its owner's storage."""
+        owner = self.owner(i)
+        owned = self._owned[0 if owner is None else owner]
+        pos = int(np.searchsorted(owned, i))
+        if pos >= len(owned) or owned[pos] != i:
+            raise DistributionError(f"subscript {i} not found in owner storage")
+        return pos
+
+    def global_index(self, p: int, local: int) -> int:
+        """Inverse of :meth:`local_index` for processor *p*."""
+        owned = self.indices_of(p)
+        if not (0 <= local < len(owned)):
+            raise DistributionError(
+                f"local index {local} outside 0..{len(owned) - 1} on processor {p}"
+            )
+        return int(owned[local])
+
+    # -- descriptions --------------------------------------------------------
+    def formula(self, symbol: str = "i") -> str:
+        """Human-readable ``f_A`` formula in the paper's notation."""
+        if self.kind is Kind.REPLICATED:
+            return "replicated"
+        term = symbol if self.direction == 1 else f"-{symbol}"
+        if self.disp > 0:
+            term = f"{term} + {self.disp}"
+        elif self.disp < 0:
+            term = f"{term} - {-self.disp}"
+        body = f"floor(({term}) / {self.block})"
+        if self.kind is Kind.CYCLIC:
+            body = f"{body} mod {self.nprocs}"
+        return body
+
+    def __str__(self) -> str:
+        if self.kind is Kind.REPLICATED:
+            return "replicated"
+        tail = "" if self.direction == 1 else ", decreasing"
+        return f"{self.kind.value}(N={self.nprocs}, b={self.block}, dim={self.grid_dim}{tail})"

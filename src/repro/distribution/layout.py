@@ -1,0 +1,137 @@
+"""Layout rendering — reproduces Fig 1 block pictures and Tables 3-4.
+
+These renderers turn distribution functions into the visual artifacts the
+paper uses to communicate layouts:
+
+* :func:`layout_matrix` / :func:`render_layout` — the "which processor
+  holds this element" pictures of Fig 1 (a)-(h);
+* :func:`ownership_table` — per-processor element listings like Table 3
+  (Jacobi on a 4-processor linear array) and Table 4 (SOR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.function import Dist1D
+from repro.distribution.function2d import Dist2D
+from repro.util.tables import Table, render_grid
+
+
+def layout_matrix(dist: Dist2D) -> np.ndarray:
+    """Array of owner labels, one per element: ``"p1p2"`` strings.
+
+    A replicated coordinate renders as ``*`` (every position along that
+    grid dimension holds a copy).
+    """
+    g1, g2 = dist.owner_grids
+
+    def label(a: int, b: int) -> str:
+        s1 = "*" if a < 0 else str(a)
+        s2 = "*" if b < 0 else str(b)
+        return s1 + s2
+
+    m, n = g1.shape
+    out = np.empty((m, n), dtype=object)
+    for i in range(m):
+        for j in range(n):
+            out[i, j] = label(int(g1[i, j]), int(g2[i, j]))
+    return out
+
+
+def block_summary(dist: Dist2D) -> np.ndarray:
+    """Collapse equal-owner runs: the coarse block picture of Fig 1.
+
+    Works when the layout is composed of rectangular uniform tiles (all the
+    Fig 1 examples); each tile contributes one cell.
+    """
+    labels = layout_matrix(dist)
+    m, n = labels.shape
+    row_edges = [0] + [i for i in range(1, m) if any(labels[i, j] != labels[i - 1, j] for j in range(n))] + [m]
+    col_edges = [0] + [j for j in range(1, n) if any(labels[i, j] != labels[i, j - 1] for i in range(m))] + [n]
+    rows = []
+    for ri in range(len(row_edges) - 1):
+        row = []
+        for ci in range(len(col_edges) - 1):
+            row.append(labels[row_edges[ri], col_edges[ci]])
+        rows.append(row)
+    return np.array(rows, dtype=object)
+
+
+def render_layout(dist: Dist2D, title: str | None = None, coarse: bool = True) -> str:
+    """ASCII rendering of a 2-D layout (Fig 1 style)."""
+    cells = block_summary(dist) if coarse else layout_matrix(dist)
+    return render_grid(cells.tolist(), title=title)
+
+
+def _element_label(name: str, *subs: int) -> str:
+    if all(s <= 9 for s in subs):
+        return name + "".join(str(s) for s in subs)
+    return f"{name}({','.join(str(s) for s in subs)})"
+
+
+def _owned_elements(name: str, dist: Dist1D | Dist2D, proc: int) -> tuple[list[str], bool]:
+    """(labels, replicated?) for the elements of *name* on linear rank *proc*.
+
+    For a linear processor arrangement we flatten: a 1-D distribution's
+    grid coordinate is the rank; a 2-D distribution must be distributed in
+    at most one grid dimension (row or column blocks), which covers the
+    paper's Tables 3-4.
+    """
+    if isinstance(dist, Dist1D):
+        if dist.is_replicated:
+            return [_element_label(name, int(i)) for i in dist.indices_of(0)], True
+        return [_element_label(name, int(i)) for i in dist.indices_of(proc)], False
+    # 2-D: exactly one of rows/cols partitioned.
+    if dist.rows.is_replicated == dist.cols.is_replicated:
+        if dist.rows.is_replicated:
+            labels = [
+                _element_label(name, i, j)
+                for i in range(1, dist.extents[0] + 1)
+                for j in range(1, dist.extents[1] + 1)
+            ]
+            return labels, True
+        # Both partitioned: flatten (p1, p2) lexicographically is ambiguous on
+        # a linear array; report the p1 = proc row of the grid.
+        pairs = [
+            (i, j)
+            for p2 in range(dist.n2)
+            for (i, j) in dist.indices_of(proc, p2)
+        ]
+        return [_element_label(name, i, j) for i, j in sorted(pairs)], False
+    if not dist.rows.is_replicated:
+        rows = dist.rows.indices_of(proc)
+        labels = [
+            _element_label(name, int(i), j)
+            for i in rows
+            for j in range(1, dist.extents[1] + 1)
+        ]
+        return labels, False
+    cols = dist.cols.indices_of(proc)
+    labels = [
+        _element_label(name, i, int(j))
+        for j in cols
+        for i in range(1, dist.extents[0] + 1)
+    ]
+    return labels, False
+
+
+def ownership_table(
+    entries: list[tuple[str, Dist1D | Dist2D]],
+    nprocs: int,
+    title: str | None = None,
+) -> str:
+    """Render per-processor data layouts (paper Tables 3-4).
+
+    Replicated arrays are shown in parentheses, exactly as the paper lists
+    the replicated copy of ``X`` (Table 3) and ``V`` (Table 4).
+    """
+    table = Table(["processor"] + [name for name, _ in entries], title=title)
+    for proc in range(nprocs):
+        row: list[str] = [f"processor {proc}"]
+        for name, dist in entries:
+            labels, replicated = _owned_elements(name, dist, proc)
+            text = " ".join(labels)
+            row.append(f"({text})" if replicated else text)
+        table.add_row(row)
+    return table.render()

@@ -1,0 +1,202 @@
+"""Cost of changing data layouts between loop nests.
+
+Algorithm 1 (§4) needs two communication-cost oracles:
+
+* ``cost(P, P')`` — changing layouts from scheme ``P`` to scheme ``P'``
+  between two adjacent loop nests (:func:`redistribution_cost`);
+* ``loop_carried_dependence(T)`` — the communication at the boundary of
+  the enclosing iterative loop, i.e. the cost of making the arrays
+  *written* under the final scheme available where the *first* scheme
+  reads them (:func:`loop_carried_cost` in :mod:`repro.dp.phases` builds
+  on the same per-array primitive here).
+
+Rules (derived from the paper's §4 worked example, where
+``CTime1 = 0`` and
+``CTime2 = ManyToManyMulticast(m/N1, N1) + OneToManyMulticast(m, N2)``):
+
+=================================  =======================================
+transition (per array dimension)   cost
+=================================  =======================================
+same mapping, same kind            0
+not distributed -> distributed     0 (data already available everywhere)
+grid g -> not distributed          ManyToManyMulticast(D/Ng, Ng)
+grid g -> grid h, rest fixed       Ng * OneToManyMulticast(D/Ng, Nh)
+grid g -> grid h, rest replicated  ManyToManyMulticast(D/Ng, Ng)
+                                   + OneToManyMulticast(D, Nh)
+same mapping, kind change          AffineTransform(D/Ng, Ng)
+fixed rest -> replicated rest      ManyToManyMulticast(D/Ng', Ng') over
+                                   the unused grid dimension Ng'
+=================================  =======================================
+
+``D`` is the total element count of the array.  These match the paper's
+terms exactly on its examples and degrade gracefully (all costs are zero
+when the relevant grid extent is 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.primitives import CommCosts
+from repro.distribution.schemes import ArrayPlacement, Scheme
+from repro.errors import DistributionError
+
+
+@dataclass(frozen=True)
+class RedistTerm:
+    """One primitive invocation in a redistribution plan (for reporting)."""
+
+    array: str
+    primitive: str
+    words: float
+    nprocs: int
+    cost: float
+
+    def describe(self) -> str:
+        return f"{self.primitive}({self.words:g}, {self.nprocs}) on {self.array} = {self.cost:g}"
+
+
+def _n_of(grid: tuple[int, int], g: int) -> int:
+    if g == 1:
+        return grid[0]
+    if g == 2:
+        return grid[1]
+    raise DistributionError(f"grid dimension must be 1 or 2, got {g}")
+
+
+def _other_dim(g: int) -> int:
+    return 2 if g == 1 else 1
+
+
+def placement_change_terms(
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    total_elements: int,
+    grid: tuple[int, int],
+    costs: CommCosts,
+) -> list[RedistTerm]:
+    """Redistribution terms for one array moving from *src* to *dst*."""
+    if src.array != dst.array:
+        raise DistributionError(f"placement arrays differ: {src.array} vs {dst.array}")
+    if src.rank != dst.rank:
+        raise DistributionError(f"{src.array}: placement ranks differ")
+    terms: list[RedistTerm] = []
+    D = float(total_elements)
+    name = src.array
+
+    for d in range(src.rank):
+        gs, gd = src.dim_map[d], dst.dim_map[d]
+        if gs is None:
+            continue  # data available everywhere along this array dimension
+        ns = _n_of(grid, gs)
+        if ns <= 1:
+            # A grid dimension of extent 1 means the array was never really
+            # split along it; nothing to move.
+            continue
+        if gd == gs:
+            if src.kinds[d] is not dst.kinds[d]:
+                cost = costs.affine_transform(D / ns, ns)
+                terms.append(RedistTerm(name, "AffineTransform", D / ns, ns, cost))
+            continue
+        if gd is None:
+            cost = costs.many_to_many(D / ns, ns)
+            terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, cost))
+            continue
+        nd = _n_of(grid, gd)
+        if dst.rest == "replicated":
+            c1 = costs.many_to_many(D / ns, ns)
+            terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, c1))
+            if nd > 1:
+                c2 = costs.one_to_many(D, nd)
+                terms.append(RedistTerm(name, "OneToManyMulticast", D, nd, c2))
+        else:
+            if nd > 1:
+                cost = ns * costs.one_to_many(D / ns, nd)
+                terms.append(
+                    RedistTerm(name, f"{ns}xOneToManyMulticast", D / ns, nd, cost)
+                )
+            else:
+                cost = costs.many_to_many(D / ns, ns)
+                terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, cost))
+
+    # Replication along unused grid dimensions (rest fixed -> replicated)
+    if src.rest == "fixed" and dst.rest == "replicated":
+        used = dst.grid_dims()
+        src_used = src.grid_dims()
+        for g in (1, 2):
+            if g in used or g in src_used:
+                continue
+            n = _n_of(grid, g)
+            if n > 1:
+                # Each holder multicasts its part along the unused dimension.
+                holders = 1
+                for gg in used:
+                    holders *= _n_of(grid, gg)
+                words = D / max(holders, 1)
+                cost = costs.one_to_many(words, n)
+                terms.append(RedistTerm(name, "OneToManyMulticast", words, n, cost))
+    return terms
+
+
+def redistribution_cost(
+    src: Scheme,
+    dst: Scheme,
+    array_sizes: dict[str, int],
+    grid: tuple[int, int],
+    costs: CommCosts,
+    arrays: tuple[str, ...] | None = None,
+) -> tuple[float, list[RedistTerm]]:
+    """Total cost (and plan) of changing layouts from *src* to *dst*.
+
+    Only arrays present in both schemes (or in *arrays* when given) are
+    considered; an array whose placement is unchanged costs nothing.
+    """
+    total = 0.0
+    terms: list[RedistTerm] = []
+    names = arrays if arrays is not None else tuple(
+        a for a in src.arrays() if a in dst.arrays()
+    )
+    for name in names:
+        sp = src.placement(name)
+        dp = dst.placement(name)
+        if sp == dp:
+            continue
+        if name not in array_sizes:
+            raise DistributionError(f"no size known for array {name!r}")
+        for term in placement_change_terms(sp, dp, array_sizes[name], grid, costs):
+            total += term.cost
+            terms.append(term)
+    return total, terms
+
+
+def replication_cost(
+    placement: ArrayPlacement,
+    total_elements: int,
+    grid: tuple[int, int],
+    costs: CommCosts,
+) -> tuple[float, list[RedistTerm]]:
+    """Cost of making an array fully replicated from *placement*.
+
+    Used for loop-carried dependences where the next iteration reads the
+    whole array everywhere (the paper's
+    ``ManyToManyMulticast(m/N1, N1) + OneToManyMulticast(m, N2)``).
+    """
+    dst = ArrayPlacement(
+        array=placement.array,
+        dim_map=tuple(None for _ in placement.dim_map),
+        kinds=placement.kinds,
+        rest="replicated",
+    )
+    terms = placement_change_terms(placement, dst, total_elements, grid, costs)
+    # Replicate along every grid dimension the source did not cover.
+    used = placement.grid_dims()
+    for g in (1, 2):
+        if g in used:
+            continue
+        n = _n_of(grid, g)
+        if n > 1 and placement.rest == "fixed":
+            cost = costs.one_to_many(float(total_elements), n)
+            terms.append(
+                RedistTerm(placement.array, "OneToManyMulticast", float(total_elements), n, cost)
+            )
+    return sum(t.cost for t in terms), terms

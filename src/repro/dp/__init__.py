@@ -1,0 +1,13 @@
+"""Dynamic programming for data distribution (paper §4, Algorithm 1)."""
+
+from repro.dp.algorithm1 import DPResult, algorithm1, brute_force_min_cost
+from repro.dp.phases import PhaseTables, build_phase_tables, solve_program_distribution
+
+__all__ = [
+    "algorithm1",
+    "brute_force_min_cost",
+    "DPResult",
+    "PhaseTables",
+    "build_phase_tables",
+    "solve_program_distribution",
+]

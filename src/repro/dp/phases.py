@@ -1,0 +1,227 @@
+"""Build Algorithm 1's tables from a program (the compiler front half).
+
+For every segment ``L_i .. L_{i+j-1}`` of the loop sequence:
+
+1. build the segment's component affinity graph and align it (§3);
+2. materialize the alignment into a scheme, replicating read-only arrays
+   along their unused grid dimensions (so e.g. ``X`` is readable anywhere
+   during Jacobi's L1);
+3. price the segment under every candidate grid shape ``N1 x N2 = N``
+   with the rule-based loop-cost estimator, keeping the best.
+
+``M[i][j]`` is that best cost, ``P[i][j]`` the (scheme, grid) pair.  The
+redistribution oracle prices layout changes between consecutive segments;
+the loop-carried oracle prices the iteration boundary of the enclosing
+iterative loop: every live loop-carried array must travel from its
+placement in the *last* scheme to its placement in the *first* scheme
+**with replication along unused grid dimensions** (its readers there span
+them).  On Jacobi this reproduces the paper exactly:
+``CTime1 = 0`` and ``CTime2 = ManyToManyMulticast(m/N1, N1) +
+OneToManyMulticast(m, N2) = m tc`` at grid ``(N, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alignment.graph import CAG, build_cag
+from repro.alignment.solver import (
+    Alignment,
+    alignment_to_scheme,
+    exact_alignment,
+    greedy_alignment,
+)
+from repro.costmodel.gridsearch import grid_candidates
+from repro.costmodel.loopcost import estimate_loop_cost
+from repro.costmodel.primitives import CommCosts
+from repro.dependence.analysis import live_loop_carried_arrays
+from repro.distribution.redistribution import placement_change_terms, redistribution_cost
+from repro.distribution.schemes import ArrayPlacement, Scheme
+from repro.dp.algorithm1 import DPResult, algorithm1
+from repro.errors import AlignmentError, CostModelError
+from repro.lang.analysis import collect_ref_sites
+from repro.lang.ast import DoLoop, Program, Stmt
+from repro.machine.model import MachineModel
+
+
+@dataclass(frozen=True)
+class PhaseEntry:
+    """One (i, j) table entry: segment scheme, grid shape and cost."""
+
+    scheme: Scheme
+    grid: tuple[int, int]
+    cost: float
+    alignment: Alignment
+    cag: CAG
+
+
+@dataclass
+class PhaseTables:
+    """All Algorithm 1 inputs derived from a program."""
+
+    program: Program
+    loops: list[DoLoop]
+    nprocs: int
+    env: dict[str, int]
+    model: MachineModel
+    entries: dict[tuple[int, int], PhaseEntry] = field(default_factory=dict)
+    outer: DoLoop | None = None
+
+    @property
+    def s(self) -> int:
+        return len(self.loops)
+
+    def entry(self, i: int, j: int) -> PhaseEntry:
+        key = (i, j)
+        if key not in self.entries:
+            raise CostModelError(f"no phase entry for segment ({i}, {j})")
+        return self.entries[key]
+
+    def M(self, i: int, j: int) -> float:
+        return self.entry(i, j).cost
+
+    def P(self, i: int, j: int) -> tuple[Scheme, tuple[int, int]]:
+        e = self.entry(i, j)
+        return (e.scheme, e.grid)
+
+    # -- oracles ---------------------------------------------------------
+    def array_sizes(self) -> dict[str, int]:
+        sizes = {}
+        for name, decl in self.program.arrays.items():
+            total = 1
+            for extent in decl.extents:
+                total *= extent.evaluate(self.env)
+            sizes[name] = total
+        return sizes
+
+    def change_cost(self, p_prev, p_next) -> float:
+        scheme_prev, _grid_prev = p_prev
+        scheme_next, grid_next = p_next
+        costs = CommCosts(self.model)
+        total, _terms = redistribution_cost(
+            scheme_prev, scheme_next, self.array_sizes(), grid_next, costs
+        )
+        return total
+
+    def loop_carried_cost(self, p_first, p_last) -> float:
+        if self.outer is None:
+            return 0.0
+        scheme_first, grid_first = p_first
+        scheme_last, _ = p_last
+        carried = live_loop_carried_arrays(self.outer)
+        costs = CommCosts(self.model)
+        sizes = self.array_sizes()
+        total = 0.0
+        for array in sorted(carried):
+            if array not in scheme_first.arrays() or array not in scheme_last.arrays():
+                continue
+            src = scheme_last.placement(array)
+            dst = scheme_first.placement(array)
+            dst = ArrayPlacement(
+                array=dst.array, dim_map=dst.dim_map, kinds=dst.kinds, rest="replicated"
+            )
+            for term in placement_change_terms(src, dst, sizes[array], grid_first, costs):
+                total += term.cost
+        return total
+
+    def solve(self) -> DPResult:
+        return algorithm1(self.s, self.M, self.P, self.change_cost, self.loop_carried_cost)
+
+
+def _segment_scheme(
+    stmts: list[Stmt],
+    program: Program,
+    env: dict[str, int],
+    model: MachineModel,
+    nprocs: int,
+    name: str,
+) -> tuple[Scheme, Alignment, CAG]:
+    cag = build_cag(stmts, program, env, model, nprocs)
+    try:
+        alignment = exact_alignment(cag, q=2)
+    except AlignmentError:
+        alignment = greedy_alignment(cag, q=2)
+    written = {
+        s.array for s in collect_ref_sites(stmts) if s.is_write
+    }
+    read_only = frozenset(set(cag.arrays) - written)
+    scheme = alignment_to_scheme(
+        alignment, cag, replicated_reads=read_only, name=name
+    )
+    return scheme, alignment, cag
+
+
+def build_phase_tables(
+    program: Program,
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel,
+    outer: DoLoop | None = None,
+    loops: list[DoLoop] | None = None,
+) -> PhaseTables:
+    """Construct all (i, j) entries for Algorithm 1.
+
+    By default the loop sequence is the body of the program's first
+    top-level loop (the iterative ``k`` loop of Jacobi/SOR); pass *loops*
+    to override, and *outer* for the loop whose carried dependences price
+    the iteration boundary.
+    """
+    if loops is None:
+        if outer is None:
+            top = program.loops()
+            if len(top) == 1:
+                outer = top[0]
+                loops = [s for s in outer.body if isinstance(s, DoLoop)]
+            else:
+                loops = top
+        else:
+            loops = [s for s in outer.body if isinstance(s, DoLoop)]
+    if not loops:
+        raise CostModelError("no loops to distribute")
+
+    tables = PhaseTables(
+        program=program,
+        loops=list(loops),
+        nprocs=nprocs,
+        env=dict(env),
+        model=model,
+        outer=outer,
+    )
+    s = len(loops)
+    for i in range(1, s + 1):
+        for j in range(1, s - i + 2):
+            stmts: list[Stmt] = list(loops[i - 1 : i - 1 + j])
+            scheme, alignment, cag = _segment_scheme(
+                stmts, program, env, model, nprocs, name=f"P[{i},{j}]"
+            )
+            best_cost = float("inf")
+            best_grid = (nprocs, 1)
+            for grid in grid_candidates(nprocs):
+                total = 0.0
+                for loop in stmts:
+                    if isinstance(loop, DoLoop):
+                        total += estimate_loop_cost(
+                            loop, scheme, grid, env, model
+                        ).total
+                if total < best_cost:
+                    best_cost = total
+                    best_grid = grid
+            tables.entries[(i, j)] = PhaseEntry(
+                scheme=scheme,
+                grid=best_grid,
+                cost=best_cost,
+                alignment=alignment,
+                cag=cag,
+            )
+    return tables
+
+
+def solve_program_distribution(
+    program: Program,
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel,
+) -> tuple[PhaseTables, DPResult]:
+    """End-to-end §4 pipeline: tables + Algorithm 1 solution."""
+    tables = build_phase_tables(program, nprocs, env, model)
+    return tables, tables.solve()

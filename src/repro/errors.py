@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Sub-hierarchies mirror
+the subsystems described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class LanguageError(ReproError):
+    """Base class for errors in the Do-loop DSL front end."""
+
+
+class LexError(LanguageError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """Raised when the parser encounters a malformed program."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1) -> None:
+        loc = f" (line {line}, column {column})" if line >= 0 else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class AffineError(LanguageError):
+    """Raised when an expression is required to be affine but is not."""
+
+
+class MachineError(ReproError):
+    """Base class for errors in the machine simulator."""
+
+
+class TopologyError(MachineError):
+    """Raised for invalid topology configurations or rank arithmetic."""
+
+
+class DeadlockError(MachineError):
+    """Raised when the engine detects that no processor can make progress.
+
+    Carries the set of blocked ranks and what each was waiting for so that
+    tests and users can diagnose communication mismatches.
+    """
+
+    def __init__(self, blocked: dict[int, str]) -> None:
+        detail = ", ".join(f"P{r}: {w}" for r, w in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live processors blocked ({detail})")
+        self.blocked = dict(blocked)
+
+
+class CommunicationError(MachineError):
+    """Raised for invalid point-to-point or collective usage."""
+
+
+class DistributionError(ReproError):
+    """Raised for invalid distribution-function configurations."""
+
+
+class AlignmentError(ReproError):
+    """Raised when component alignment fails or constraints are violated."""
+
+
+class DependenceError(ReproError):
+    """Raised when dependence analysis is asked an unsupported question."""
+
+
+class CodegenError(ReproError):
+    """Raised when SPMD code generation cannot lower a program."""
+
+
+class CostModelError(ReproError):
+    """Raised for invalid cost-model queries."""

@@ -1,0 +1,51 @@
+"""Reference and SPMD kernels for the paper's three algorithms (+ Cannon).
+
+Each parallel kernel is an SPMD generator function for
+:func:`repro.machine.run_spmd`; numerics are computed with NumPy on local
+blocks while simulated time is accounted through ``p.compute`` and the
+message costs.  Sequential references live in
+:mod:`repro.kernels.linalg`.
+"""
+
+from repro.kernels.linalg import (
+    gauss_seq,
+    jacobi_seq,
+    make_spd_system,
+    matmul_seq,
+    sor_seq,
+)
+from repro.kernels.jacobi import (
+    jacobi_coldist,
+    jacobi_grid2d,
+    jacobi_rowdist,
+    jacobi_rowdist_adaptive,
+)
+from repro.kernels.sor import sor_naive, sor_pipelined
+from repro.kernels.gauss import gauss_broadcast, gauss_pipelined, gauss_pivoted
+from repro.kernels.cannon import cannon_matmul
+from repro.kernels.cg import cg_parallel, cg_seq
+from repro.kernels.matmul3d import matmul_3d
+from repro.kernels.redblack import redblack_sor, redblack_sor_seq
+
+__all__ = [
+    "jacobi_seq",
+    "sor_seq",
+    "gauss_seq",
+    "matmul_seq",
+    "make_spd_system",
+    "jacobi_rowdist",
+    "jacobi_rowdist_adaptive",
+    "jacobi_coldist",
+    "jacobi_grid2d",
+    "sor_naive",
+    "sor_pipelined",
+    "gauss_broadcast",
+    "gauss_pipelined",
+    "gauss_pivoted",
+    "cannon_matmul",
+    "matmul_3d",
+    "cg_seq",
+    "cg_parallel",
+    "redblack_sor",
+    "redblack_sor_seq",
+]

@@ -1,0 +1,69 @@
+"""Cannon's matrix multiplication on skewed 2-D distributions (§2.1).
+
+The paper's rotated distribution functions (Fig 1 (b), (c)) exist to
+express Cannon's initial alignment *as a data layout*: when A is stored
+under ``f(i,j) = (z1, (z2 - z1) mod q)`` and B under
+``((z1 - z2) mod q, z2)``, the algorithm needs no skewing phase at all —
+just ``q`` multiply-shift steps.
+
+:func:`cannon_matmul` runs on a ``q x q`` grid (row-major ranks); each
+processor starts from the full matrices and slices the block the skewed
+layout assigns it, exactly like loading a pre-distributed file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.collectives import shift
+from repro.machine.engine import Proc
+
+
+def cannon_matmul(
+    p: Proc, B: np.ndarray, C: np.ndarray, q: int
+) -> Generator:
+    """Compute ``A = B x C`` by Cannon's algorithm on a ``q x q`` torus.
+
+    Returns each rank's local block of A (block row-major assembly is the
+    caller's job; see :func:`assemble_blocks`).
+    """
+    if q * q != p.nprocs:
+        raise MachineError(f"Cannon needs q^2 processors, got {p.nprocs} for q={q}")
+    n = B.shape[0]
+    if n % q != 0:
+        raise MachineError(f"Cannon needs q | n, got n={n}, q={q}")
+    nb = n // q
+    p1, p2 = divmod(p.rank, q)
+
+    def blk(M: np.ndarray, i: int, j: int) -> np.ndarray:
+        return np.ascontiguousarray(M[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb])
+
+    # Skewed initial layout (the paper's rotated distribution functions):
+    # processor (p1, p2) holds B block (p1, p1+p2) and C block (p1+p2, p2).
+    B_loc = blk(B, p1, (p1 + p2) % q).astype(np.float64)
+    C_loc = blk(C, (p1 + p2) % q, p2).astype(np.float64)
+    A_loc = np.zeros((nb, nb))
+
+    row_group = tuple(p1 * q + c for c in range(q))
+    col_group = tuple(r * q + p2 for r in range(q))
+
+    for step in range(q):
+        A_loc += B_loc @ C_loc
+        p.compute(2 * nb * nb * nb, label=f"block gemm step {step + 1}")
+        if q > 1 and step < q - 1:
+            # Shift B one position left along the grid row, C one position
+            # up along the grid column (paper Shift primitive).
+            B_loc = yield from shift(p, B_loc, row_group, delta=-1, tag=80)
+            C_loc = yield from shift(p, C_loc, col_group, delta=-1, tag=81)
+    return A_loc
+
+
+def assemble_blocks(values: list[np.ndarray], q: int) -> np.ndarray:
+    """Assemble per-rank blocks (row-major ranks) into the full matrix."""
+    rows = []
+    for p1 in range(q):
+        rows.append(np.hstack([values[p1 * q + p2] for p2 in range(q)]))
+    return np.vstack(rows)

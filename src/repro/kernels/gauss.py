@@ -1,0 +1,278 @@
+"""SPMD Gauss elimination kernels (paper §6).
+
+Layout per §6: cyclic row distribution on a ring,
+``f(i) = (i - 1) mod N`` for the rows of A/L and the elements of B, V, X
+— cyclic because the triangular iteration space would leave contiguous
+blocks badly imbalanced.
+
+* :func:`gauss_broadcast` — what "a naive compiler" generates: for every
+  pivot ``k`` the owner OneToManyMulticasts the pivot row and ``B(k)``;
+  in back substitution every ``X(j)`` is multicast too.
+
+* :func:`gauss_pipelined` — the Fig 8 program: every multicast is
+  replaced by a neighbor Shift justified by the dependence information of
+  Table 5 (all tokens map to dot-product 0 or 1 under the index-processor
+  mapping ``i -> PE (i-1) mod N``).  Pivot rows travel rightward around
+  the ring, X values leftward, and processors overlap their update work
+  with the propagation — software pipelining.
+
+Both kernels return the solution vector on every rank and agree with
+:func:`repro.kernels.linalg.gauss_seq` to roundoff.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.machine.collectives import allreduce, bcast
+from repro.machine.engine import Proc
+
+
+def _row_setup(p: Proc, A: np.ndarray, b: np.ndarray, distribution: str):
+    """Local row set under cyclic or contiguous-block distribution.
+
+    The paper chooses *cyclic* (``f(i) = (i-1) mod N``) "because the index
+    space includes an oblique pyramid and a triangle" — contiguous blocks
+    leave low-rank processors idle once their rows are eliminated.  The
+    block option exists for the ablation that demonstrates this.
+    """
+    m = len(b)
+    n = p.nprocs
+    if distribution == "cyclic":
+        mine = np.arange(p.rank, m, n)
+    elif distribution == "block":
+        size = -(-m // n)
+        mine = np.arange(min(p.rank * size, m), min((p.rank + 1) * size, m))
+    else:
+        raise ValueError(f"distribution must be cyclic|block, got {distribution!r}")
+    A_loc = np.ascontiguousarray(A[mine, :]).astype(np.float64)
+    b_loc = b[mine].astype(np.float64).copy()
+    return m, n, mine, A_loc, b_loc
+
+
+def _owner_of(k: int, m: int, n: int, distribution: str) -> int:
+    if distribution == "cyclic":
+        return k % n
+    size = -(-m // n)
+    return k // size
+
+
+def gauss_broadcast(
+    p: Proc, A: np.ndarray, b: np.ndarray, distribution: str = "cyclic"
+) -> Generator:
+    """Naive Gauss elimination: OneToManyMulticast per pivot (§6)."""
+    m, n, mine, A_loc, b_loc = _row_setup(p, A, b, distribution)
+    group = tuple(range(n))
+
+    # ---- triangularization ------------------------------------------------
+    for k in range(m):
+        owner = _owner_of(k, m, n, distribution)
+        if p.rank == owner:
+            li = int(np.searchsorted(mine, k))  # local index of global row k
+            packet = (A_loc[li, k:].copy(), float(b_loc[li]))
+            packet = yield from bcast(p, packet, root=owner, group=group)
+        else:
+            packet = yield from bcast(p, None, root=owner, group=group)
+        pivot_row, pivot_b = packet
+        pivot = pivot_row[0]
+        below = mine > k
+        if below.any():
+            rows = np.nonzero(below)[0]
+            ell = A_loc[rows, k] / pivot
+            b_loc[rows] -= ell * pivot_b
+            A_loc[np.ix_(rows, range(k, m))] -= np.outer(ell, pivot_row)
+            p.compute(len(rows) * (2 * (m - k) + 3), label=f"elim k={k + 1}")
+
+    # ---- back substitution --------------------------------------------------
+    x = np.zeros(m)
+    v_loc = np.zeros(len(mine))
+    for j in range(m - 1, -1, -1):
+        owner = _owner_of(j, m, n, distribution)
+        if p.rank == owner:
+            lj = int(np.searchsorted(mine, j))
+            xj = (b_loc[lj] - v_loc[lj]) / A_loc[lj, j]
+            p.compute(2, label=f"X({j + 1})")
+            xj = yield from bcast(p, xj, root=owner, group=group)
+        else:
+            xj = yield from bcast(p, None, root=owner, group=group)
+        x[j] = xj
+        above = mine < j
+        if above.any():
+            rows = np.nonzero(above)[0]
+            v_loc[rows] += A_loc[rows, j] * xj
+            p.compute(2 * len(rows), label=f"V update j={j + 1}")
+    return x
+
+
+def gauss_pivoted(
+    p: Proc, A: np.ndarray, b: np.ndarray, distribution: str = "cyclic"
+) -> Generator:
+    """Gauss elimination with partial pivoting — an extension.
+
+    The paper's algorithm does not pivot (its kernels are diagonally
+    dominant).  This variant adds the standard parallel partial pivoting:
+    at every step an Allreduce picks the global maximum-magnitude
+    candidate in the pivot column, the owning processors swap rows, and
+    the pivot row is multicast.  Note the structural consequence: pivot
+    *selection* is a global synchronization per step, so the §6 Shift
+    pipeline no longer applies — pivoting and pipelining are at odds,
+    which is why the paper's method targets the pivot-free kernels.
+    """
+    m, n, mine, A_loc, b_loc = _row_setup(p, A, b, distribution)
+    group = tuple(range(n))
+
+    def local_index(row: int) -> int:
+        return int(np.searchsorted(mine, row))
+
+    def best_pair(x, y):
+        return x if (x[0], -x[1]) >= (y[0], -y[1]) else y
+
+    mine_list = mine.copy()  # global row held at each local slot
+
+    for k in range(m):
+        # 1. global pivot search over rows >= k (tie: smallest index).
+        cand_rows = np.nonzero(mine_list >= k)[0]
+        if len(cand_rows):
+            vals = np.abs(A_loc[cand_rows, k])
+            p.compute(len(cand_rows), label=f"pivot scan k={k + 1}")
+            best_local = int(cand_rows[np.argmax(vals)])
+            local_best = (float(vals.max()), int(mine_list[best_local]))
+        else:
+            local_best = (-1.0, m)
+        best_val, pivot_row = yield from allreduce(
+            p, local_best, group, op=best_pair, tag=73
+        )
+        if best_val == 0.0:
+            raise ZeroDivisionError(f"matrix is singular at step {k + 1}")
+
+        # 2. swap logical rows k and pivot_row (by slot relabeling +
+        #    explicit exchange when they live on different processors).
+        slot_k = np.nonzero(mine_list == k)[0]
+        slot_p = np.nonzero(mine_list == pivot_row)[0]
+        if pivot_row != k:
+            if len(slot_k) and len(slot_p):
+                i1, i2 = int(slot_k[0]), int(slot_p[0])
+                A_loc[[i1, i2], :] = A_loc[[i2, i1], :]
+                b_loc[[i1, i2]] = b_loc[[i2, i1]]
+            elif len(slot_k):
+                i1 = int(slot_k[0])
+                other = _owner_of(pivot_row, m, n, distribution)
+                p.send(other, (A_loc[i1, :].copy(), float(b_loc[i1])), tag=74)
+                row, bv = yield from p.recv(other, tag=74)
+                A_loc[i1, :] = row
+                b_loc[i1] = bv
+            elif len(slot_p):
+                i2 = int(slot_p[0])
+                other = _owner_of(k, m, n, distribution)
+                p.send(other, (A_loc[i2, :].copy(), float(b_loc[i2])), tag=74)
+                row, bv = yield from p.recv(other, tag=74)
+                A_loc[i2, :] = row
+                b_loc[i2] = bv
+
+        # 3. multicast the pivot row and eliminate below.
+        owner = _owner_of(k, m, n, distribution)
+        if p.rank == owner:
+            li = local_index(k)
+            packet = (A_loc[li, k:].copy(), float(b_loc[li]))
+            packet = yield from bcast(p, packet, root=owner, group=group, tag=75)
+        else:
+            packet = yield from bcast(p, None, root=owner, group=group, tag=75)
+        pivot_row_vals, pivot_b = packet
+        pivot = pivot_row_vals[0]
+        below = mine_list > k
+        if below.any():
+            rows = np.nonzero(below)[0]
+            ell = A_loc[rows, k] / pivot
+            b_loc[rows] -= ell * pivot_b
+            A_loc[np.ix_(rows, range(k, m))] -= np.outer(ell, pivot_row_vals)
+            p.compute(len(rows) * (2 * (m - k) + 3), label=f"elim k={k + 1}")
+
+    # ---- back substitution (multicast, as in gauss_broadcast) ------------
+    x = np.zeros(m)
+    v_loc = np.zeros(len(mine_list))
+    for j in range(m - 1, -1, -1):
+        owner = _owner_of(j, m, n, distribution)
+        if p.rank == owner:
+            lj = local_index(j)
+            xj = (b_loc[lj] - v_loc[lj]) / A_loc[lj, j]
+            p.compute(2, label=f"X({j + 1})")
+            xj = yield from bcast(p, xj, root=owner, group=group, tag=76)
+        else:
+            xj = yield from bcast(p, None, root=owner, group=group, tag=76)
+        x[j] = xj
+        above = mine_list < j
+        if above.any():
+            rows = np.nonzero(above)[0]
+            v_loc[rows] += A_loc[rows, j] * xj
+            p.compute(2 * len(rows), label=f"V update j={j + 1}")
+    return x
+
+
+def gauss_pipelined(
+    p: Proc, A: np.ndarray, b: np.ndarray, distribution: str = "cyclic"
+) -> Generator:
+    """Pipelined Gauss elimination — the generated program of Fig 8.
+
+    Pivot packets shift rightward; each processor receives a packet,
+    forwards it immediately (send before update, so the successor can
+    start while we eliminate), then updates its local rows.  The packet
+    dies at the owner's left neighbor, having visited every other
+    processor exactly once.  Back substitution shifts X values leftward
+    the same way.
+    """
+    m, n, mine, A_loc, b_loc = _row_setup(p, A, b, distribution)
+    right = (p.rank + 1) % n
+    left = (p.rank - 1) % n
+
+    # ---- triangularization ------------------------------------------------
+    for k in range(m):
+        owner = _owner_of(k, m, n, distribution)
+        if n == 1:
+            li = int(np.searchsorted(mine, k))
+            pivot_row = A_loc[li, k:].copy()
+            pivot_b = float(b_loc[li])
+        elif p.rank == owner:
+            li = int(np.searchsorted(mine, k))
+            pivot_row = A_loc[li, k:].copy()
+            pivot_b = float(b_loc[li])
+            p.send(right, (pivot_row, pivot_b), tag=70)
+        else:
+            pivot_row, pivot_b = yield from p.recv(left, tag=70)
+            if right != owner:
+                p.send(right, (pivot_row, pivot_b), tag=70)
+        pivot = pivot_row[0]
+        below = mine > k
+        if below.any():
+            rows = np.nonzero(below)[0]
+            ell = A_loc[rows, k] / pivot
+            b_loc[rows] -= ell * pivot_b
+            A_loc[np.ix_(rows, range(k, m))] -= np.outer(ell, pivot_row)
+            p.compute(len(rows) * (2 * (m - k) + 3), label=f"elim k={k + 1}")
+
+    # ---- back substitution: X values pipeline leftward ----------------------
+    x = np.zeros(m)
+    v_loc = np.zeros(len(mine))
+    for j in range(m - 1, -1, -1):
+        owner = _owner_of(j, m, n, distribution)
+        if n == 1:
+            lj = int(np.searchsorted(mine, j))
+            xj = float((b_loc[lj] - v_loc[lj]) / A_loc[lj, j])
+            p.compute(2, label=f"X({j + 1})")
+        elif p.rank == owner:
+            lj = int(np.searchsorted(mine, j))
+            xj = float((b_loc[lj] - v_loc[lj]) / A_loc[lj, j])
+            p.compute(2, label=f"X({j + 1})")
+            p.send(left, xj, tag=71)
+        else:
+            xj = yield from p.recv(right, tag=71)
+            if left != owner:
+                p.send(left, xj, tag=71)
+        x[j] = xj
+        above = mine < j
+        if above.any():
+            rows = np.nonzero(above)[0]
+            v_loc[rows] += A_loc[rows, j] * xj
+            p.compute(2 * len(rows), label=f"V update j={j + 1}")
+    return x

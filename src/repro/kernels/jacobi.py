@@ -1,0 +1,195 @@
+"""SPMD Jacobi kernels for the three grid shapes of Table 2 and §4.
+
+All kernels take the *full* problem (A, b, x0) on every rank and slice
+their local blocks — the paper treats the initial layout as given, so no
+distribution cost is charged.  Simulated time is charged for every flop
+(via ``p.compute``) and every message.
+
+* :func:`jacobi_rowdist` — grid ``(N, 1)``: the §4 DP scheme (Table 3
+  layout).  Per iteration: local GEMV (``2 m^2/N`` flops), local update
+  (``3 m/N``), then an allgather of the new X blocks
+  (ManyToManyMulticast, the paper's ``CTime2 = m tc``).
+* :func:`jacobi_coldist` — grid ``(1, N)``: §3's computation-optimal but
+  communication-heavy scheme.  Per iteration: local partial GEMV, an
+  allreduce of V (Reduction + OneToManyMulticast = ``2 m log N tc``),
+  local update of the owned X block.
+* :func:`jacobi_grid2d` — grid ``(sqrt N, sqrt N)``: 2-D blocks; row
+  reduction of partials to diagonal blocks, X update there, column
+  broadcast of the new X blocks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.collectives import allgather, allreduce, bcast, reduce
+from repro.machine.engine import Proc
+
+
+def _row_block(m: int, nprocs: int, rank: int) -> tuple[int, int]:
+    """Contiguous block bounds [lo, hi) of ``floor((i-1)/ceil(m/N))``."""
+    size = -(-m // nprocs)
+    lo = min(rank * size, m)
+    hi = min(lo + size, m)
+    return lo, hi
+
+
+def jacobi_rowdist(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    iterations: int,
+) -> Generator:
+    """Row-block Jacobi on a linear array of ``nprocs`` (§4 / Table 3)."""
+    m = len(b)
+    n = p.nprocs
+    lo, hi = _row_block(m, n, p.rank)
+    A_loc = np.ascontiguousarray(A[lo:hi, :])
+    b_loc = b[lo:hi].copy()
+    diag_loc = np.diag(A)[lo:hi].copy()
+    x = np.array(x0, dtype=np.float64)
+    group = tuple(range(n))
+    rows = hi - lo
+
+    for _ in range(iterations):
+        v_loc = A_loc @ x
+        p.compute(2 * rows * m, label="gemv")
+        x_loc = x[lo:hi] + (b_loc - v_loc) / diag_loc
+        p.compute(3 * rows, label="update")
+        blocks = yield from allgather(p, x_loc, group)
+        x = np.concatenate([np.atleast_1d(blk) for blk in blocks])
+    return x
+
+
+def jacobi_rowdist_adaptive(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    tol: float,
+    max_iterations: int,
+) -> Generator:
+    """Row-block Jacobi with a convergence test — §1's iterative shape.
+
+    The paper's introduction describes the canonical iterative loop as
+    "(1) parallel computation step; (2) reduction step; (3) updating
+    step".  This kernel makes the reduction step explicit: after each
+    sweep, the squared residual-update norm is combined with an
+    Allreduce and every processor stops at the same iteration.
+
+    Returns ``(x, iterations_used)``.
+    """
+    m = len(b)
+    n = p.nprocs
+    lo, hi = _row_block(m, n, p.rank)
+    A_loc = np.ascontiguousarray(A[lo:hi, :])
+    b_loc = b[lo:hi].copy()
+    diag_loc = np.diag(A)[lo:hi].copy()
+    x = np.array(x0, dtype=np.float64)
+    group = tuple(range(n))
+    rows = hi - lo
+
+    used = 0
+    for it in range(max_iterations):
+        v_loc = A_loc @ x  # (1) parallel computation step
+        p.compute(2 * rows * m, label="gemv")
+        delta = (b_loc - v_loc) / diag_loc
+        x_loc = x[lo:hi] + delta
+        p.compute(3 * rows, label="update")
+        local_sq = float(delta @ delta)
+        p.compute(2 * rows, label="norm")
+        total_sq = yield from allreduce(p, local_sq, group)  # (2) reduction
+        blocks = yield from allgather(p, x_loc, group)  # (3) updating step
+        x = np.concatenate([np.atleast_1d(blk) for blk in blocks])
+        used = it + 1
+        if total_sq**0.5 <= tol:
+            break
+    return x, used
+
+
+def jacobi_coldist(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    iterations: int,
+) -> Generator:
+    """Column-block Jacobi on grid ``(1, N)`` (§3, Table 2 row 1)."""
+    m = len(b)
+    n = p.nprocs
+    lo, hi = _row_block(m, n, p.rank)  # same block arithmetic, on columns
+    A_loc = np.ascontiguousarray(A[:, lo:hi])
+    b_loc = b[lo:hi].copy()
+    diag_loc = np.diag(A)[lo:hi].copy()
+    x_loc = np.array(x0[lo:hi], dtype=np.float64)
+    group = tuple(range(n))
+    cols = hi - lo
+
+    for _ in range(iterations):
+        partial = A_loc @ x_loc
+        p.compute(2 * m * cols, label="partial-gemv")
+        v = yield from allreduce(p, partial, group)
+        x_loc = x_loc + (b_loc - v[lo:hi]) / diag_loc
+        p.compute(3 * cols, label="update")
+    blocks = yield from allgather(p, x_loc, group)
+    return np.concatenate([np.atleast_1d(blk) for blk in blocks])
+
+
+def jacobi_grid2d(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    iterations: int,
+    shape: tuple[int, int],
+) -> Generator:
+    """2-D block Jacobi on an ``n1 x n2`` grid (Table 2 row 3).
+
+    Rank layout is row-major over *shape*.  Per iteration:
+
+    1. local partial GEMV on the ``(m/n1) x (m/n2)`` block;
+    2. Reduction of partials across each grid row to its column-0
+       processor (``Reduction(m/n1, n2)``);
+    3. X-block update there (``3 m/n1`` flops);
+    4. ManyToManyMulticast of the new blocks within grid column 0, then
+       OneToManyMulticast of the full X along each grid row — the
+       loop-carried redistribution of X, mirroring the paper's
+       ``N1 x OneToManyMulticast`` + multicast terms for this grid.
+
+    Returns the full X vector on every rank.
+    """
+    n1, n2 = shape
+    if n1 * n2 != p.nprocs:
+        raise MachineError(f"grid {shape} does not match {p.nprocs} processors")
+    m = len(b)
+    p1, p2 = divmod(p.rank, n2)
+    rlo, rhi = _row_block(m, n1, p1)
+    clo, chi = _row_block(m, n2, p2)
+    A_loc = np.ascontiguousarray(A[rlo:rhi, clo:chi])
+    rows = rhi - rlo
+    cols = chi - clo
+    x = np.array(x0, dtype=np.float64)
+
+    row_group = tuple(p1 * n2 + q for q in range(n2))
+    col0_group = tuple(q * n2 for q in range(n1))
+    row_root = p1 * n2  # column-0 processor of this grid row
+    b_loc = b[rlo:rhi].copy()
+    diag_loc = np.diag(A)[rlo:rhi].copy()
+
+    for _ in range(iterations):
+        partial = A_loc @ x[clo:chi]
+        p.compute(2 * rows * cols, label="partial-gemv")
+        v = yield from reduce(p, partial, root=row_root, group=row_group)
+        if p.rank == row_root:
+            x_blk = x[rlo:rhi] + (b_loc - v) / diag_loc
+            p.compute(3 * rows, label="update")
+            blocks = yield from allgather(p, x_blk, col0_group)
+            x = np.concatenate([np.atleast_1d(blk) for blk in blocks])
+            x = yield from bcast(p, x, root=row_root, group=row_group)
+        else:
+            x = yield from bcast(p, None, root=row_root, group=row_group)
+    return x

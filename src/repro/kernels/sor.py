@@ -1,0 +1,152 @@
+"""SPMD SOR kernels (paper §5).
+
+Both kernels use the §5 layout (Table 4): the ``j``-th *column* of A and
+the ``j``-th elements of B and X live on the block owner of ``j``; the V
+accumulator is transient.
+
+* :func:`sor_naive` — the paper's naive schedule: for every row ``i``,
+  each processor computes a partial inner product over its column block,
+  a Reduction combines them, and the owner of ``X(i)`` updates it.  Per
+  iteration: ``(2 m^2/N + 4 m) tf + ~m (log N + 1) tc``.
+
+* :func:`sor_pipelined` — the Fig 5/Fig 6 software pipeline on a ring:
+  row ``i``'s partial sum is started by the owner of ``X(i)`` (columns
+  ``j >= i`` of its block, still-old values), circulates the ring where
+  every processor adds its column-block contribution with its *current*
+  X values, and returns to the owner, which adds the contributions of
+  already-updated in-block elements and updates ``X(i)``.  The pipeline
+  timing makes the Gauss-Seidel update order exact, and the per-iteration
+  time drops to ``<= (m + N)(2 (m/N) tf + 2 tc)``.
+
+Numerically both equal :func:`repro.kernels.linalg.sor_seq` to roundoff.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.collectives import allgather, reduce
+from repro.machine.engine import Proc
+from repro.kernels.jacobi import _row_block
+
+
+def sor_naive(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    omega: float,
+    iterations: int,
+) -> Generator:
+    """Naive SOR: Reduction + owner update per row (§5's first schedule)."""
+    m = len(b)
+    n = p.nprocs
+    lo, hi = _row_block(m, n, p.rank)
+    A_loc = np.ascontiguousarray(A[:, lo:hi])
+    b_loc = b[lo:hi].copy()
+    diag = np.diag(A).copy()
+    x_loc = np.array(x0[lo:hi], dtype=np.float64)
+    group = tuple(range(n))
+    cols = hi - lo
+
+    def owner(i: int) -> int:
+        size = -(-m // n)
+        return i // size
+
+    for _ in range(iterations):
+        for i in range(m):
+            partial = float(A_loc[i, :] @ x_loc)
+            p.compute(2 * cols, label=f"partial V({i + 1})")
+            # Reduction to rank 0 (binomial root), then Transfer to the
+            # owner of X(i) — the paper's Reduction(1, N) + Transfer(1).
+            total = yield from reduce(p, partial, root=0, group=group)
+            own = owner(i)
+            if p.rank == 0 and own != 0:
+                p.send(own, total, tag=50)
+            if p.rank == own:
+                if own != 0:
+                    total = yield from p.recv(0, tag=50)
+                x_loc[i - lo] += omega * (b_loc[i - lo] - total) / diag[i]
+                p.compute(4, label=f"update X({i + 1})")
+    blocks = yield from allgather(p, x_loc, group)
+    return np.concatenate([np.atleast_1d(blk) for blk in blocks])
+
+
+def sor_pipelined(
+    p: Proc,
+    A: np.ndarray,
+    b: np.ndarray,
+    x0: np.ndarray,
+    omega: float,
+    iterations: int,
+) -> Generator:
+    """Pipelined SOR on a ring — the generated program of Fig 6.
+
+    Requires ``m`` divisible by the processor count (as the paper's
+    ``block = m/N`` does).
+    """
+    m = len(b)
+    n = p.nprocs
+    if m % n != 0:
+        raise MachineError(f"pipelined SOR needs N | m, got m={m}, N={n}")
+    block = m // n
+    me = p.rank
+    before = me * block
+    right = (me + 1) % n
+    left = (me - 1) % n
+
+    # Table 4 layout: my column block of A, my elements of B and X.
+    A_loc = np.ascontiguousarray(A[:, before : before + block])
+    b_loc = b[before : before + block].copy()
+    diag_loc = np.diag(A)[before : before + block].copy()
+    x_loc = np.array(x0[before : before + block], dtype=np.float64)
+
+    for _ in range(iterations):
+        if n == 1:
+            # Degenerate ring: plain sequential sweep.
+            for ii in range(block):
+                v = float(A_loc[ii, :] @ x_loc)
+                p.compute(2 * block + 4, label=f"row {ii + 1}")
+                x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
+            continue
+        # Phase 1 (Fig 6 lines 7-15): rows owned by earlier processors.
+        # Their partials arrive from the left; my X block is still old,
+        # which is exactly what rows i < before need from columns j > i.
+        for i in range(before):
+            temp = float(A_loc[i, :] @ x_loc)
+            p.compute(2 * block, label=f"row {i + 1} partial")
+            v = yield from p.recv(left, tag=60)
+            v += temp
+            p.send(right, v, tag=60)
+        # Phase 2 (lines 16-23): start my own rows with columns j >= i.
+        for ii in range(block):
+            cur = before + ii
+            v_start = float(A_loc[cur, ii:] @ x_loc[ii:])
+            p.compute(2 * (block - ii), label=f"row {cur + 1} start")
+            p.send(right, v_start, tag=60)
+        # Phase 3 (lines 24-34): my rows come back around the ring;
+        # add contributions of already-updated in-block predecessors,
+        # then update X.
+        for ii in range(block):
+            cur = before + ii
+            temp = float(A_loc[cur, :ii] @ x_loc[:ii])
+            p.compute(2 * ii, label=f"row {cur + 1} finish")
+            v = yield from p.recv(left, tag=60)
+            v += temp
+            x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
+            p.compute(4, label=f"X({cur + 1})")
+        # Phase 4 (lines 35-43): rows owned by later processors; my X
+        # block is now new, which rows i > before+block need (j < i).
+        for i in range(before + block, m):
+            temp = float(A_loc[i, :] @ x_loc)
+            p.compute(2 * block, label=f"row {i + 1} partial")
+            v = yield from p.recv(left, tag=60)
+            v += temp
+            p.send(right, v, tag=60)
+
+    group = tuple(range(n))
+    blocks = yield from allgather(p, x_loc, group)
+    return np.concatenate([np.atleast_1d(blk) for blk in blocks])

@@ -1,0 +1,150 @@
+"""Loop-nest queries over the IR.
+
+These helpers feed the component-affinity-graph builder (§3) and the
+dependence analyzer (§6): they enumerate array reference *sites* together
+with their loop context, and classify reads vs. writes under the
+owner-computes rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    DoLoop,
+    Program,
+    ScalarRef,
+    Stmt,
+    array_refs,
+)
+
+
+@dataclass(frozen=True)
+class RefSite:
+    """One textual occurrence of an array reference.
+
+    Attributes
+    ----------
+    ref:
+        The :class:`ArrayRef` node.
+    stmt:
+        The enclosing assignment.
+    loops:
+        Enclosing loops, outermost first.
+    is_write:
+        True when the reference is the assignment's left-hand side.
+    """
+
+    ref: ArrayRef
+    stmt: Assign
+    loops: tuple[DoLoop, ...]
+    is_write: bool
+
+    @property
+    def array(self) -> str:
+        return self.ref.name
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    @property
+    def line(self) -> int:
+        return self.stmt.line
+
+
+def collect_ref_sites(stmts: list[Stmt] | Program, _loops: tuple[DoLoop, ...] = ()) -> list[RefSite]:
+    """All array reference sites in *stmts*, pre-order, with loop context."""
+    if isinstance(stmts, Program):
+        stmts = stmts.body
+    sites: list[RefSite] = []
+    for stmt in stmts:
+        if isinstance(stmt, DoLoop):
+            sites.extend(collect_ref_sites(stmt.body, _loops + (stmt,)))
+        elif isinstance(stmt, Assign):
+            if isinstance(stmt.lhs, ArrayRef):
+                sites.append(RefSite(stmt.lhs, stmt, _loops, True))
+            sites.extend(RefSite(r, stmt, _loops, False) for r in array_refs(stmt.rhs))
+    return sites
+
+
+def assignments(stmts: list[Stmt] | Program) -> list[Assign]:
+    """All assignments, pre-order."""
+    if isinstance(stmts, Program):
+        stmts = stmts.body
+    out: list[Assign] = []
+    for stmt in stmts:
+        if isinstance(stmt, Assign):
+            out.append(stmt)
+        else:
+            out.extend(assignments(stmt.body))
+    return out
+
+
+def loop_depth(stmt: Stmt) -> int:
+    """Maximum DO-nest depth of a statement (assignment = 0)."""
+    if isinstance(stmt, Assign):
+        return 0
+    return 1 + max((loop_depth(s) for s in stmt.body), default=0)
+
+
+def arrays_used(stmts: list[Stmt] | Program) -> frozenset[str]:
+    """Names of all arrays referenced."""
+    return frozenset(site.array for site in collect_ref_sites(stmts))
+
+
+def scalars_used(stmts: list[Stmt] | Program) -> frozenset[str]:
+    """Names of scalar *value* references (e.g. ``omega``).
+
+    Loop indices used only inside affine subscripts are not included —
+    they are part of the iteration space, not data.
+    """
+    if isinstance(stmts, Program):
+        stmts = stmts.body
+    names: set[str] = set()
+
+    def visit_stmts(body: list[Stmt]) -> None:
+        from repro.lang.ast import walk_exprs
+
+        for stmt in body:
+            if isinstance(stmt, DoLoop):
+                visit_stmts(stmt.body)
+            else:
+                for node in walk_exprs(stmt.rhs):
+                    if isinstance(node, ScalarRef):
+                        names.add(node.name)
+                if isinstance(stmt.lhs, ScalarRef):
+                    names.add(stmt.lhs.name)
+
+    visit_stmts(stmts)
+    return frozenset(names)
+
+
+def iteration_count(loop: DoLoop, env: dict[str, int]) -> int:
+    """Total number of innermost iterations executed by a loop nest.
+
+    For triangular nests the bounds depend on outer indices, so we count by
+    enumeration; the paper's programs are small enough for this to be exact
+    rather than symbolic.
+    """
+
+    def count(stmts: list[Stmt], bind: dict[str, int]) -> int:
+        total = 0
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                total += 1
+            else:
+                for value in stmt.iter_values(bind):
+                    inner = dict(bind)
+                    inner[stmt.var] = value
+                    total += count(stmt.body, inner)
+        return total
+
+    total = 0
+    for value in loop.iter_values(env):
+        bind = dict(env)
+        bind[loop.var] = value
+        total += count(loop.body, bind)
+    return total

@@ -1,0 +1,410 @@
+"""Recursive-descent parser for the Do-loop DSL.
+
+Grammar (keywords case-insensitive, one statement per line)::
+
+    program  := 'PROGRAM' NAME NL decl* stmt* 'END' NL?
+    decl     := 'PARAM' NAME (',' NAME)* NL
+              | 'SCALAR' NAME (',' NAME)* NL
+              | 'ARRAY' arrdecl (',' arrdecl)* NL
+    arrdecl  := NAME '(' expr (',' expr)* ')'
+    stmt     := doloop | assign
+    doloop   := 'DO' NAME '=' expr ',' expr (',' expr)? NL stmt* endloop
+    endloop  := ('END' 'DO' | 'ENDDO') NL
+    assign   := lvalue '=' expr NL
+    lvalue   := NAME ['(' expr (',' expr)* ')']
+    expr     := standard precedence over + - * / with unary -, parentheses
+                and intrinsic calls min/max/mod/abs/ceiling/floor
+
+Array subscripts and loop bounds must be affine in loop indices and
+parameters; violations raise :class:`repro.errors.AffineError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AffineError, ParseError
+from repro.lang.affine import Affine
+from repro.lang.ast import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DoLoop,
+    Expr,
+    Num,
+    Program,
+    ScalarRef,
+    Stmt,
+    UnaryOp,
+)
+from repro.lang.lexer import Token, tokenize
+
+INTRINSICS = frozenset({"min", "max", "mod", "abs", "ceiling", "floor"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.arrays: dict[str, ArrayDecl] = {}
+        self.params: list[str] = []
+        self.scalars: list[str] = []
+        self.directives: dict[str, tuple[str, ...]] = {}
+        self.alignments: list[tuple[tuple[str, int], tuple[str, int]]] = []
+
+    # -- token plumbing ------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.cur.text!r}", self.cur.line, self.cur.column
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.accept("NEWLINE"):
+            pass
+
+    def end_statement(self) -> None:
+        if not (self.accept("NEWLINE") or self.check("EOF")):
+            raise ParseError(
+                f"expected end of statement, found {self.cur.text!r}",
+                self.cur.line,
+                self.cur.column,
+            )
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Program:
+        self.skip_newlines()
+        self.expect("KEYWORD", "PROGRAM")
+        name = self.expect("NAME").text
+        self.end_statement()
+        self.skip_newlines()
+        while self.cur.kind == "KEYWORD" and self.cur.text in (
+            "PARAM", "ARRAY", "SCALAR", "DISTRIBUTE", "ALIGN",
+        ):
+            self.parse_decl()
+            self.skip_newlines()
+        body = self.parse_stmts(until_end=True)
+        self.expect("KEYWORD", "END")
+        self.skip_newlines()
+        if self.cur.kind != "EOF":
+            raise ParseError(
+                f"trailing input after END: {self.cur.text!r}", self.cur.line, self.cur.column
+            )
+        return Program(
+            name=name,
+            params=tuple(self.params),
+            arrays=dict(self.arrays),
+            scalars=tuple(self.scalars),
+            body=body,
+            directives=dict(self.directives),
+            alignments=tuple(self.alignments),
+        )
+
+    def parse_decl(self) -> None:
+        kw = self.expect("KEYWORD").text
+        if kw == "DISTRIBUTE":
+            self.parse_distribute()
+            return
+        if kw == "ALIGN":
+            self.parse_align()
+            return
+        if kw == "PARAM":
+            while True:
+                self.params.append(self.expect("NAME").text)
+                if not self.accept(","):
+                    break
+        elif kw == "SCALAR":
+            while True:
+                self.scalars.append(self.expect("NAME").text)
+                if not self.accept(","):
+                    break
+        else:  # ARRAY
+            while True:
+                arr_name = self.expect("NAME").text
+                self.expect("(")
+                extents = [self.parse_affine()]
+                while self.accept(","):
+                    extents.append(self.parse_affine())
+                self.expect(")")
+                if arr_name in self.arrays:
+                    raise ParseError(f"array {arr_name!r} declared twice", self.cur.line)
+                self.arrays[arr_name] = ArrayDecl(arr_name, tuple(extents))
+                if not self.accept(","):
+                    break
+        self.end_statement()
+
+    def parse_distribute(self) -> None:
+        """``DISTRIBUTE A(BLOCK, CYCLIC)`` — Fortran-D style directive.
+
+        One specifier per array dimension: ``BLOCK``, ``CYCLIC`` or ``*``
+        (the dimension is not distributed).  The array must be declared
+        before the directive.
+        """
+        tok = self.cur
+        name = self.expect("NAME").text
+        if name not in self.arrays:
+            raise ParseError(f"DISTRIBUTE of undeclared array {name!r}", tok.line)
+        if name in self.directives:
+            raise ParseError(f"duplicate DISTRIBUTE for {name!r}", tok.line)
+        self.expect("(")
+        specs: list[str] = []
+        while True:
+            if self.accept("*"):
+                specs.append("*")
+            else:
+                spec_tok = self.expect("NAME")
+                spec = spec_tok.text.upper()
+                if spec not in ("BLOCK", "CYCLIC"):
+                    raise ParseError(
+                        f"distribution specifier must be BLOCK, CYCLIC or *, got {spec_tok.text!r}",
+                        spec_tok.line,
+                    )
+                specs.append(spec)
+            if not self.accept(","):
+                break
+        self.expect(")")
+        self.end_statement()
+        decl = self.arrays[name]
+        if len(specs) != decl.rank:
+            raise ParseError(
+                f"DISTRIBUTE {name} has {len(specs)} specifiers for rank {decl.rank}",
+                tok.line,
+            )
+        self.directives[name] = tuple(specs)
+
+    def parse_align(self) -> None:
+        """``ALIGN V(i) WITH A(i, *)`` — HPF-style alignment constraint.
+
+        Each placeholder variable on the left must appear exactly once on
+        the right (or be matched by ``*`` positions being skipped); the
+        matched dimension pairs become must-co-align constraints for the
+        component-alignment solver.
+        """
+        tok = self.cur
+        src_name = self.expect("NAME").text
+        if src_name not in self.arrays:
+            raise ParseError(f"ALIGN of undeclared array {src_name!r}", tok.line)
+        self.expect("(")
+        src_vars: list[str] = []
+        while True:
+            src_vars.append(self.expect("NAME").text)
+            if not self.accept(","):
+                break
+        self.expect(")")
+        if len(src_vars) != self.arrays[src_name].rank:
+            raise ParseError(
+                f"ALIGN {src_name} has {len(src_vars)} placeholders for rank "
+                f"{self.arrays[src_name].rank}", tok.line,
+            )
+        if len(set(src_vars)) != len(src_vars):
+            raise ParseError("ALIGN placeholders must be distinct", tok.line)
+        self.expect("KEYWORD", "WITH")
+        tgt_name = self.expect("NAME").text
+        if tgt_name not in self.arrays:
+            raise ParseError(f"ALIGN target {tgt_name!r} not declared", tok.line)
+        self.expect("(")
+        tgt_pattern: list[str] = []
+        while True:
+            if self.accept("*"):
+                tgt_pattern.append("*")
+            else:
+                tgt_pattern.append(self.expect("NAME").text)
+            if not self.accept(","):
+                break
+        self.expect(")")
+        self.end_statement()
+        if len(tgt_pattern) != self.arrays[tgt_name].rank:
+            raise ParseError(
+                f"ALIGN target {tgt_name} has {len(tgt_pattern)} positions for "
+                f"rank {self.arrays[tgt_name].rank}", tok.line,
+            )
+        for d_src, var in enumerate(src_vars, start=1):
+            hits = [d for d, p in enumerate(tgt_pattern, start=1) if p == var]
+            if len(hits) > 1:
+                raise ParseError(
+                    f"ALIGN placeholder {var!r} used twice on the right", tok.line
+                )
+            if hits:
+                self.alignments.append(((src_name, d_src), (tgt_name, hits[0])))
+
+    def parse_stmts(self, until_end: bool) -> list[Stmt]:
+        stmts: list[Stmt] = []
+        self.skip_newlines()
+        while True:
+            if self.check("EOF"):
+                if until_end:
+                    raise ParseError("unexpected end of input, missing END", self.cur.line)
+                break
+            if self.check("KEYWORD", "END") or self.check("KEYWORD", "ENDDO"):
+                break
+            stmts.append(self.parse_stmt())
+            self.skip_newlines()
+        return stmts
+
+    def parse_stmt(self) -> Stmt:
+        if self.check("KEYWORD", "DO"):
+            return self.parse_do()
+        return self.parse_assign()
+
+    def parse_do(self) -> DoLoop:
+        tok = self.expect("KEYWORD", "DO")
+        var = self.expect("NAME").text
+        self.expect("=")
+        lb = self.parse_affine()
+        self.expect(",")
+        ub = self.parse_affine()
+        step = 1
+        if self.accept(","):
+            step_aff = self.parse_affine()
+            if not step_aff.is_constant:
+                raise ParseError("loop step must be a constant", tok.line)
+            step = step_aff.const
+            if step == 0:
+                raise ParseError("loop step must be nonzero", tok.line)
+        self.end_statement()
+        body = self.parse_stmts(until_end=False)
+        if self.accept("KEYWORD", "ENDDO") is None:
+            self.expect("KEYWORD", "END")
+            self.expect("KEYWORD", "DO")
+        self.end_statement()
+        return DoLoop(var=var, lb=lb, ub=ub, step=step, body=body, line=tok.line)
+
+    def parse_assign(self) -> Assign:
+        tok = self.cur
+        lhs = self.parse_primary()
+        if not isinstance(lhs, (ArrayRef, ScalarRef)):
+            raise ParseError("left-hand side must be an array or scalar reference", tok.line)
+        self.expect("=")
+        rhs = self.parse_expr()
+        self.end_statement()
+        return Assign(lhs=lhs, rhs=rhs, line=tok.line)
+
+    # -- expressions -----------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_additive()
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.cur.kind in ("+", "-"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.cur.kind in ("*", "/"):
+            op = self.advance().text
+            right = self.parse_unary()
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.cur.kind == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if self.cur.kind == "+":
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "NUMBER":
+            self.advance()
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                return Num(float(tok.text))
+            return Num(int(tok.text))
+        if tok.kind == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.kind == "NAME":
+            name = self.advance().text
+            if self.check("("):
+                self.advance()
+                args: list[Expr] = [self.parse_expr()]
+                while self.accept(","):
+                    args.append(self.parse_expr())
+                self.expect(")")
+                if name in self.arrays:
+                    decl = self.arrays[name]
+                    if len(args) != decl.rank:
+                        raise ParseError(
+                            f"array {name!r} has rank {decl.rank}, got {len(args)} subscripts",
+                            tok.line,
+                        )
+                    subs = tuple(self.expr_to_affine(a, where=f"subscript of {name}") for a in args)
+                    return ArrayRef(name, subs)
+                if name.lower() in INTRINSICS:
+                    return Call(name.lower(), tuple(args))
+                raise ParseError(f"{name!r} is not a declared array or intrinsic", tok.line)
+            return ScalarRef(name)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.column)
+
+    # -- affine conversion ------------------------------------------------
+    def parse_affine(self) -> Affine:
+        tok = self.cur
+        expr = self.parse_expr()
+        return self.expr_to_affine(expr, where=f"near line {tok.line}")
+
+    def expr_to_affine(self, expr: Expr, where: str) -> Affine:
+        try:
+            return expr_to_affine(expr)
+        except AffineError as exc:
+            raise AffineError(f"{exc} ({where})") from None
+
+
+def expr_to_affine(expr: Expr) -> Affine:
+    """Convert an expression tree to an :class:`Affine`, or raise."""
+    if isinstance(expr, Num):
+        if isinstance(expr.value, float) and not expr.value.is_integer():
+            raise AffineError(f"non-integer literal {expr.value!r} in affine context")
+        return Affine.constant(int(expr.value))
+    if isinstance(expr, ScalarRef):
+        return Affine.var(expr.name)
+    if isinstance(expr, UnaryOp):
+        inner = expr_to_affine(expr.operand)
+        return -inner if expr.op == "-" else inner
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return expr_to_affine(expr.left) + expr_to_affine(expr.right)
+        if expr.op == "-":
+            return expr_to_affine(expr.left) - expr_to_affine(expr.right)
+        if expr.op == "*":
+            left = expr_to_affine(expr.left)
+            right = expr_to_affine(expr.right)
+            if left.is_constant:
+                return right * left.const
+            if right.is_constant:
+                return left * right.const
+            raise AffineError(f"product of two non-constants is not affine: {expr}")
+        raise AffineError(f"operator {expr.op!r} not allowed in affine context: {expr}")
+    raise AffineError(f"expression is not affine: {expr}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse DSL *source* text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,85 @@
+"""Pretty-printer: IR back to DSL text (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DoLoop,
+    Expr,
+    Num,
+    Program,
+    ScalarRef,
+    Stmt,
+    UnaryOp,
+)
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def expr_to_text(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Num):
+        return str(expr.value)
+    if isinstance(expr, ScalarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}({', '.join(str(s) for s in expr.subscripts)})"
+    if isinstance(expr, Call):
+        return f"{expr.name}({', '.join(expr_to_text(a) for a in expr.args)})"
+    if isinstance(expr, UnaryOp):
+        inner = expr_to_text(expr.operand, 3)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = expr_to_text(expr.left, prec)
+        # Right operand of - and / needs tighter binding.
+        right = expr_to_text(expr.right, prec + (1 if expr.op in "-/" else 0))
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def stmt_to_lines(stmt: Stmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return [f"{pad}{expr_to_text(stmt.lhs)} = {expr_to_text(stmt.rhs)}"]
+    if isinstance(stmt, DoLoop):
+        step = f", {stmt.step}" if stmt.step != 1 else ""
+        lines = [f"{pad}DO {stmt.var} = {stmt.lb}, {stmt.ub}{step}"]
+        for child in stmt.body:
+            lines.extend(stmt_to_lines(child, indent + 1))
+        lines.append(f"{pad}END DO")
+        return lines
+    raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def program_to_text(program: Program) -> str:
+    """Render a full program as parseable DSL text."""
+    lines = [f"PROGRAM {program.name}"]
+    if program.params:
+        lines.append("PARAM " + ", ".join(program.params))
+    if program.scalars:
+        lines.append("SCALAR " + ", ".join(program.scalars))
+    if program.arrays:
+        decls = ", ".join(str(d) for d in program.arrays.values())
+        lines.append("ARRAY " + decls)
+    for name, specs in program.directives.items():
+        lines.append(f"DISTRIBUTE {name}({', '.join(specs)})")
+    for (src, d_src), (tgt, d_tgt) in program.alignments:
+        src_rank = program.arrays[src].rank
+        tgt_rank = program.arrays[tgt].rank
+        src_vars = [f"x{d}" for d in range(1, src_rank + 1)]
+        tgt_pattern = ["*"] * tgt_rank
+        tgt_pattern[d_tgt - 1] = f"x{d_src}"
+        lines.append(
+            f"ALIGN {src}({', '.join(src_vars)}) WITH {tgt}({', '.join(tgt_pattern)})"
+        )
+    for stmt in program.body:
+        lines.extend(stmt_to_lines(stmt))
+    lines.append("END")
+    return "\n".join(lines) + "\n"

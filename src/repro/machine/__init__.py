@@ -1,0 +1,58 @@
+"""Deterministic distributed-memory machine simulator.
+
+This package is the substrate that stands in for the paper's
+iPSC/nCUBE-class hardware (see DESIGN.md §2).  SPMD programs are Python
+generator functions ``def prog(p: Proc): ...`` executed by a discrete-event
+engine; point-to-point messages actually carry data (so numerics are real)
+while per-processor clocks advance according to a
+:class:`~repro.machine.model.MachineModel` with the paper's ``tf`` (time per
+flop) and ``tc`` (time per transferred word) parameters.
+"""
+
+from repro.machine.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+    shift,
+)
+from repro.machine.engine import Engine, Proc, RunResult, run_spmd
+from repro.machine.threaded import ThreadedEngine, run_spmd_threaded
+from repro.machine.model import MachineModel
+from repro.machine.topology import (
+    Grid2D,
+    Grid3D,
+    Hypercube,
+    Linear,
+    Ring,
+    Topology,
+    gray_code,
+)
+
+__all__ = [
+    "Engine",
+    "Proc",
+    "RunResult",
+    "run_spmd",
+    "ThreadedEngine",
+    "run_spmd_threaded",
+    "MachineModel",
+    "Topology",
+    "Ring",
+    "Linear",
+    "Grid2D",
+    "Grid3D",
+    "Hypercube",
+    "gray_code",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "shift",
+    "barrier",
+]

@@ -1,0 +1,294 @@
+"""Collective communication built from point-to-point messages.
+
+These are the paper's §2.2 primitives realized as SPMD generator
+functions.  Each operates over an explicit *group* — an ordered tuple of
+ranks, typically a whole machine or one grid dimension
+(:meth:`repro.machine.topology.Grid2D.dim_group`), matching the paper's
+"processors lying on the specified grid dimension(s)".
+
+Algorithms are the classic hypercube ones, so simulated costs match
+Table 1 of the paper:
+
+===========================  =========================  =================
+paper primitive              function                   cost shape
+===========================  =========================  =================
+Transfer(m)                  ``Proc.send`` / ``recv``   O(m)
+Shift(m)                     :func:`shift`              O(m)
+OneToManyMulticast(m, seq)   :func:`bcast`              O(m log P)
+Reduction(m, seq)            :func:`reduce`             O(m log P)
+AffineTransform(m, seq)      :func:`affine_transform`   O(m) per pair
+Scatter(m, seq)              :func:`scatter`            O(m P)
+Gather(m, seq)               :func:`gather`             O(m P)
+ManyToManyMulticast(m, seq)  :func:`allgather`          O(m P)
+===========================  =========================  =================
+
+All collectives must be invoked with ``yield from`` and called by *every*
+member of the group, in the same order (standard SPMD contract).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator, Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.machine.engine import Proc
+
+
+def _group_index(p: Proc, group: Sequence[int]) -> int:
+    try:
+        return group.index(p.rank)  # type: ignore[union-attr]
+    except (ValueError, AttributeError):
+        idx = [i for i, r in enumerate(group) if r == p.rank]
+        if not idx:
+            raise CommunicationError(
+                f"P{p.rank} is not a member of collective group {tuple(group)}"
+            ) from None
+        return idx[0]
+
+
+def _combine(a: Any, b: Any, op: Callable[[Any, Any], Any] | None, p: Proc) -> Any:
+    """Merge two partial values, charging one flop per element."""
+    if op is not None:
+        result = op(a, b)
+    elif isinstance(a, np.ndarray):
+        result = a + b
+    else:
+        result = a + b
+    words = int(a.size) if isinstance(a, np.ndarray) else 1
+    p.compute(words, label="reduce-op")
+    return result
+
+
+def bcast(
+    p: Proc,
+    data: Any,
+    root: int,
+    group: Sequence[int],
+    tag: int = 101,
+) -> Generator[Any, None, Any]:
+    """OneToManyMulticast: binomial-tree broadcast from *root* over *group*.
+
+    Returns the broadcast value on every member.
+    """
+    n = len(group)
+    if n <= 1:
+        return data
+    me = _group_index(p, group)
+    root_idx = group.index(root)
+    rel = (me - root_idx) % n
+    value = data if p.rank == root else None
+    k = 1
+    while k < n:
+        if rel < k:
+            peer_rel = rel + k
+            if peer_rel < n:
+                p.send(group[(peer_rel + root_idx) % n], value, tag=tag)
+        elif rel < 2 * k:
+            src_rel = rel - k
+            value = yield from p.recv(group[(src_rel + root_idx) % n], tag=tag)
+        k *= 2
+    return value
+
+
+def reduce(
+    p: Proc,
+    value: Any,
+    root: int,
+    group: Sequence[int],
+    op: Callable[[Any, Any], Any] | None = None,
+    tag: int = 102,
+) -> Generator[Any, None, Any]:
+    """Reduction: binomial-tree reduce to *root*; returns result at root.
+
+    *op* defaults to elementwise addition (the paper's inner-product
+    reductions); it must be associative and commutative (§2.2).
+    Non-root members return ``None``.
+    """
+    n = len(group)
+    if n <= 1:
+        return value
+    me = _group_index(p, group)
+    root_idx = group.index(root)
+    rel = (me - root_idx) % n
+    acc = value
+    k = 1
+    while k < n:
+        if rel % (2 * k) == 0:
+            peer_rel = rel + k
+            if peer_rel < n:
+                other = yield from p.recv(group[(peer_rel + root_idx) % n], tag=tag)
+                acc = _combine(acc, other, op, p)
+        elif rel % (2 * k) == k:
+            p.send(group[(rel - k + root_idx) % n], acc, tag=tag)
+            return None
+        k *= 2
+    return acc if p.rank == root else None
+
+
+def allreduce(
+    p: Proc,
+    value: Any,
+    group: Sequence[int],
+    op: Callable[[Any, Any], Any] | None = None,
+    tag: int = 103,
+) -> Generator[Any, None, Any]:
+    """Reduce to the group's first rank, then broadcast the result."""
+    n = len(group)
+    if n <= 1:
+        return value
+    root = group[0]
+    partial = yield from reduce(p, value, root, group, op=op, tag=tag)
+    result = yield from bcast(p, partial, root, group, tag=tag + 1)
+    return result
+
+
+def gather(
+    p: Proc,
+    value: Any,
+    root: int,
+    group: Sequence[int],
+    tag: int = 104,
+) -> Generator[Any, None, list[Any] | None]:
+    """Gather: root receives one value per member, in group order.
+
+    Root serializes the receives, giving the paper's O(m * num(seq)) cost.
+    """
+    if len(group) == 1:
+        return [value]
+    if p.rank == root:
+        out: list[Any] = []
+        for member in group:
+            if member == root:
+                out.append(value)
+            else:
+                item = yield from p.recv(member, tag=tag)
+                out.append(item)
+        return out
+    p.send(root, value, tag=tag)
+    return None
+
+
+def scatter(
+    p: Proc,
+    items: Sequence[Any] | None,
+    root: int,
+    group: Sequence[int],
+    tag: int = 105,
+) -> Generator[Any, None, Any]:
+    """Scatter: root sends ``items[i]`` to the i-th group member."""
+    if len(group) == 1:
+        if items is None or len(items) != 1:
+            raise CommunicationError("scatter needs exactly one item per group member")
+        return items[0]
+    if p.rank == root:
+        if items is None or len(items) != len(group):
+            raise CommunicationError(
+                f"scatter root needs {len(group)} items, got {None if items is None else len(items)}"
+            )
+        mine: Any = None
+        for member, item in zip(group, items):
+            if member == root:
+                mine = item
+            else:
+                p.send(member, item, tag=tag)
+        return mine
+    value = yield from p.recv(root, tag=tag)
+    return value
+
+
+def allgather(
+    p: Proc,
+    value: Any,
+    group: Sequence[int],
+    tag: int = 106,
+) -> Generator[Any, None, list[Any]]:
+    """ManyToManyMulticast: ring allgather; returns values in group order.
+
+    P-1 steps, each forwarding one block to the ring successor, for the
+    paper's O(m * num(seq)) cost.
+    """
+    n = len(group)
+    me = _group_index(p, group)
+    blocks: list[Any] = [None] * n
+    blocks[me] = value
+    if n == 1:
+        return blocks
+    right = group[(me + 1) % n]
+    left = group[(me - 1) % n]
+    for step in range(n - 1):
+        send_idx = (me - step) % n
+        recv_idx = (me - step - 1) % n
+        p.send(right, blocks[send_idx], tag=tag)
+        blocks[recv_idx] = yield from p.recv(left, tag=tag)
+    return blocks
+
+
+def shift(
+    p: Proc,
+    data: Any,
+    group: Sequence[int],
+    delta: int = 1,
+    tag: int = 107,
+) -> Generator[Any, None, Any]:
+    """Shift: circular shift of data by *delta* positions along *group*.
+
+    Every member sends to its ``+delta`` neighbor and receives from its
+    ``-delta`` neighbor (paper's Shift along a grid dimension).
+    """
+    n = len(group)
+    if n == 1 or delta % n == 0:
+        return data
+    me = _group_index(p, group)
+    dest = group[(me + delta) % n]
+    src = group[(me - delta) % n]
+    p.send(dest, data, tag=tag)
+    received = yield from p.recv(src, tag=tag)
+    return received
+
+
+def affine_transform(
+    p: Proc,
+    data: Any,
+    group: Sequence[int],
+    transform: Callable[[int], int],
+    tag: int = 108,
+) -> Generator[Any, None, Any]:
+    """AffineTransform: permutation exchange over *group*.
+
+    *transform* maps group positions to group positions and must be a
+    bijection; each member sends its data to ``transform(position)`` and
+    receives from the unique inverse position.
+    """
+    n = len(group)
+    me = _group_index(p, group)
+    images = [transform(i) % n for i in range(n)]
+    if sorted(images) != list(range(n)):
+        raise CommunicationError("affine_transform mapping is not a permutation")
+    dest_idx = images[me]
+    src_idx = images.index(me)
+    if dest_idx == me and src_idx == me:
+        return data
+    if dest_idx != me:
+        p.send(group[dest_idx], data, tag=tag)
+    if src_idx != me:
+        data = yield from p.recv(group[src_idx], tag=tag)
+    return data
+
+
+def barrier(p: Proc, group: Sequence[int], tag: int = 109) -> Generator[Any, None, None]:
+    """Dissemination barrier: log P rounds of zero-word messages.
+
+    After the barrier every member's clock is at least the group maximum at
+    entry (clocks propagate through the message exchanges).
+    """
+    n = len(group)
+    me = _group_index(p, group)
+    k = 1
+    while k < n:
+        p.send(group[(me + k) % n], None, tag=tag)
+        yield from p.recv(group[(me - k) % n], tag=tag)
+        k *= 2
+    return None

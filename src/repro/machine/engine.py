@@ -1,0 +1,353 @@
+"""Discrete-event SPMD engine.
+
+An SPMD program is a generator function ``def prog(p: Proc, *args)``.
+Each of the ``P`` logical processors runs one instance of the program.
+Local computation is accounted with :meth:`Proc.compute`; communication
+uses :meth:`Proc.send` (plain call, buffered/non-blocking, like the
+paper's ``send_to_right``) and :meth:`Proc.recv` (blocking, must be
+invoked as ``value = yield from p.recv(src)``).
+
+Clock semantics (see :mod:`repro.machine.model`):
+
+* ``compute(flops)`` advances the local clock by ``flops * tf``;
+* ``send`` advances the sender by its occupancy and stamps the message
+  with its availability time;
+* ``recv`` waits (in simulated time) until the message is available,
+  then pays the receiver occupancy.
+
+Because sends never block and receives name their source, the simulated
+timestamps and all numeric results are independent of the engine's
+scheduling order — the simulation is deterministic.
+
+The engine detects deadlock (every live processor blocked on an empty
+channel) and raises :class:`repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommunicationError, DeadlockError, MachineError
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.machine.trace import TraceEvent
+
+Channel = tuple[int, int, int]  # (source, dest, tag)
+
+
+def _payload_words(data: Any) -> int:
+    """Number of machine words a payload occupies on the wire."""
+    if isinstance(data, np.ndarray):
+        return int(data.size)
+    if isinstance(data, (int, float, complex, np.integer, np.floating)):
+        return 1
+    if isinstance(data, (tuple, list)):
+        return sum(_payload_words(item) for item in data)
+    if data is None:
+        return 0
+    raise CommunicationError(
+        f"cannot infer word count for payload of type {type(data).__name__}; pass words="
+    )
+
+
+def _payload_copy(data: Any) -> Any:
+    """Snapshot a payload so later sender-side mutation cannot corrupt it."""
+    if isinstance(data, np.ndarray):
+        return data.copy()
+    if isinstance(data, list):
+        return [_payload_copy(item) for item in data]
+    if isinstance(data, tuple):
+        return tuple(_payload_copy(item) for item in data)
+    return data
+
+
+@dataclass
+class _Message:
+    data: Any
+    words: int
+    available: float  # simulated time at which the receiver may consume it
+    sent_at: float
+    source: int
+    dest: int
+    tag: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of an SPMD run.
+
+    Attributes
+    ----------
+    values:
+        Per-rank return value of the program generator.
+    finish_times:
+        Per-rank simulated clock at termination.
+    makespan:
+        ``max(finish_times)`` — the paper's "total execution time".
+    message_count / message_words:
+        Aggregate communication volume.
+    trace:
+        Per-rank event lists (only when tracing was enabled).
+    """
+
+    values: list[Any]
+    finish_times: list[float]
+    message_count: int
+    message_words: int
+    trace: list[list[TraceEvent]] | None = None
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    def value(self, rank: int = 0) -> Any:
+        return self.values[rank]
+
+
+class Proc:
+    """Handle through which an SPMD program interacts with the machine."""
+
+    def __init__(self, engine: "Engine", rank: int) -> None:
+        self._engine = engine
+        self.rank = rank
+        self.clock = 0.0
+
+    # -- identity -------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self._engine.topology.size
+
+    @property
+    def topology(self) -> Topology:
+        return self._engine.topology
+
+    @property
+    def model(self) -> MachineModel:
+        return self._engine.model
+
+    def __repr__(self) -> str:
+        return f"Proc(rank={self.rank}, clock={self.clock:.3f})"
+
+    # -- local work -------------------------------------------------------
+    def compute(self, flops: float, label: str = "") -> None:
+        """Account *flops* floating-point operations of local work."""
+        if flops < 0:
+            raise MachineError(f"negative flops: {flops}")
+        start = self.clock
+        self.clock += self._engine.model.flops(flops)
+        self._engine.record(self.rank, "compute", start, self.clock, detail=label, words=0)
+
+    def delay(self, seconds: float, label: str = "") -> None:
+        """Advance the local clock by raw simulated seconds."""
+        if seconds < 0:
+            raise MachineError(f"negative delay: {seconds}")
+        start = self.clock
+        self.clock += seconds
+        self._engine.record(self.rank, "delay", start, self.clock, detail=label, words=0)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, dest: int, data: Any, words: int | None = None, tag: int = 0) -> None:
+        """Buffered non-blocking send (plain call — do *not* ``yield from``)."""
+        self._engine.topology.check_rank(dest)
+        if dest == self.rank:
+            raise CommunicationError(f"P{self.rank} attempted to send to itself")
+        nwords = _payload_words(data) if words is None else int(words)
+        if nwords < 0:
+            raise CommunicationError(f"negative message size {nwords}")
+        model = self._engine.model
+        start = self.clock
+        self.clock += model.send_occupancy(nwords)
+        hops = self._engine.topology.hops(self.rank, dest)
+        available = self.clock + model.wire_latency(nwords, hops)
+        msg = _Message(
+            data=_payload_copy(data),
+            words=nwords,
+            available=available,
+            sent_at=start,
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+        )
+        self._engine.deliver(msg)
+        self._engine.record(
+            self.rank, "send", start, self.clock, peer=dest, words=nwords, tag=tag
+        )
+
+    def recv(self, source: int, tag: int = 0) -> Generator[Any, None, Any]:
+        """Blocking receive — use as ``value = yield from p.recv(source)``."""
+        self._engine.topology.check_rank(source)
+        if source == self.rank:
+            raise CommunicationError(f"P{self.rank} attempted to receive from itself")
+        channel: Channel = (source, self.rank, tag)
+        block_start = self.clock
+        while True:
+            msg = self._engine.try_pop(channel)
+            if msg is not None:
+                break
+            yield channel  # parked by the engine until a send arrives
+        model = self._engine.model
+        self.clock = max(self.clock, msg.available)
+        self.clock += model.recv_occupancy(msg.words)
+        self._engine.record(
+            self.rank, "recv", block_start, self.clock, peer=source, words=msg.words, tag=tag
+        )
+        return msg.data
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True when a matching message is already queued (no time cost)."""
+        return self._engine.has_message((source, self.rank, tag))
+
+
+class Engine:
+    """Owns processor state, message queues and the scheduler."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        model: MachineModel | None = None,
+        trace: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.model = model or MachineModel()
+        self.procs = [Proc(self, r) for r in range(topology.size)]
+        self._queues: dict[Channel, deque[_Message]] = {}
+        self._waiting: dict[Channel, int] = {}  # channel -> parked rank
+        self.message_count = 0
+        self.message_words = 0
+        self._tracing = trace
+        self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+
+    # -- messaging ------------------------------------------------------
+    def deliver(self, msg: _Message) -> None:
+        channel: Channel = (msg.source, msg.dest, msg.tag)
+        self._queues.setdefault(channel, deque()).append(msg)
+        self.message_count += 1
+        self.message_words += msg.words
+        parked = self._waiting.pop(channel, None)
+        if parked is not None:
+            self._runnable.append(parked)
+
+    def try_pop(self, channel: Channel) -> _Message | None:
+        queue = self._queues.get(channel)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def has_message(self, channel: Channel) -> bool:
+        queue = self._queues.get(channel)
+        return bool(queue)
+
+    def record(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        peer: int | None = None,
+        words: int = 0,
+        tag: int = 0,
+        detail: str = "",
+    ) -> None:
+        if self._tracing:
+            self.trace[rank].append(
+                TraceEvent(
+                    rank=rank,
+                    kind=kind,
+                    start=start,
+                    end=end,
+                    peer=peer,
+                    words=words,
+                    tag=tag,
+                    detail=detail,
+                )
+            )
+
+    # -- scheduler --------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Generator],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        per_rank_args: list[tuple] | None = None,
+    ) -> RunResult:
+        """Run one instance of *program* per rank to completion."""
+        kwargs = kwargs or {}
+        gens: list[Generator | None] = []
+        values: list[Any] = [None] * len(self.procs)
+        for proc in self.procs:
+            rank_args = per_rank_args[proc.rank] if per_rank_args is not None else args
+            result = program(proc, *rank_args, **kwargs)
+            if not isinstance(result, Generator):
+                # Pure-compute programs may be plain functions.
+                values[proc.rank] = result
+                gens.append(None)
+            else:
+                gens.append(result)
+
+        self._runnable: deque[int] = deque(
+            rank for rank, gen in enumerate(gens) if gen is not None
+        )
+        live = len(self._runnable)
+
+        while live:
+            if not self._runnable:
+                blocked = {
+                    rank: f"recv(source={ch[0]}, tag={ch[2]})"
+                    for ch, rank in self._waiting.items()
+                }
+                raise DeadlockError(blocked)
+            rank = self._runnable.popleft()
+            gen = gens[rank]
+            assert gen is not None
+            try:
+                channel = next(gen)
+            except StopIteration as stop:
+                values[rank] = stop.value
+                gens[rank] = None
+                live -= 1
+                continue
+            if self.has_message(channel):
+                # Message raced in while the generator was yielding: retry.
+                self._runnable.append(rank)
+            else:
+                if channel in self._waiting:
+                    raise CommunicationError(
+                        f"two processors waiting on the same channel {channel}"
+                    )
+                self._waiting[channel] = rank
+
+        return RunResult(
+            values=values,
+            finish_times=[p.clock for p in self.procs],
+            message_count=self.message_count,
+            message_words=self.message_words,
+            trace=self.trace if self._tracing else None,
+        )
+
+
+def run_spmd(
+    program: Callable[..., Generator],
+    topology: Topology,
+    model: MachineModel | None = None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    per_rank_args: list[tuple] | None = None,
+    trace: bool = False,
+) -> RunResult:
+    """Convenience front end: build an :class:`Engine` and run *program*.
+
+    Parameters
+    ----------
+    program:
+        Generator function ``def program(p: Proc, *args, **kwargs)``.
+    per_rank_args:
+        Optional per-rank positional arguments (e.g. scattered input
+        blocks); overrides *args* when given.
+    """
+    engine = Engine(topology, model=model, trace=trace)
+    return engine.run(program, args=args, kwargs=kwargs, per_rank_args=per_rank_args)

@@ -1,0 +1,77 @@
+"""Machine timing model.
+
+The paper characterizes the target machine by two constants (§3):
+
+* ``tf`` — average time of a floating point operation;
+* ``tc`` — average time of transferring one word.
+
+We add two optional refinements that default to the paper's assumptions:
+
+* ``alpha`` — fixed per-message overhead (0 in the paper's asymptotic
+  model; real hypercubes had a large alpha, which is why the paper worries
+  about *numbers of messages* when pipelining);
+* ``hop_cost`` — extra latency per additional hop between non-neighbor
+  processors (0 models the wormhole/cut-through routing the paper's
+  cost table assumes).
+
+``overlap=True`` models hardware that overlays computation with
+communication (§5's closing remark): send/receive *occupancy* drops to
+``alpha``, while message latency is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CostModelError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Timing parameters of the simulated machine.
+
+    The defaults (``tf=1, tc=10``) reflect the era's typical ratio:
+    communication an order of magnitude slower than computation per word.
+    """
+
+    tf: float = 1.0
+    tc: float = 10.0
+    alpha: float = 0.0
+    hop_cost: float = 0.0
+    overlap: bool = False
+
+    def __post_init__(self) -> None:
+        for field_name in ("tf", "tc", "alpha", "hop_cost"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise CostModelError(f"{field_name} must be nonnegative, got {value}")
+
+    # -- endpoint occupancy -------------------------------------------
+    def send_occupancy(self, words: int) -> float:
+        """Time the sender is busy injecting a *words*-word message."""
+        if self.overlap:
+            return self.alpha
+        return self.alpha + words * self.tc
+
+    def recv_occupancy(self, words: int) -> float:
+        """Time the receiver is busy draining a *words*-word message."""
+        if self.overlap:
+            return self.alpha
+        return self.alpha + words * self.tc
+
+    def wire_latency(self, words: int, hops: int) -> float:
+        """In-flight time after the sender finishes injecting.
+
+        With ``hop_cost=0`` (the paper's model) a message is available as
+        soon as the sender has paid its occupancy.
+        """
+        extra = self.alpha + words * self.tc if self.overlap else 0.0
+        return extra + max(hops - 1, 0) * self.hop_cost
+
+    def flops(self, count: float) -> float:
+        """Time for *count* floating-point operations."""
+        return count * self.tf
+
+    def words(self, count: float) -> float:
+        """Time to transfer *count* words point-to-point (paper Transfer)."""
+        return self.alpha + count * self.tc

@@ -1,0 +1,198 @@
+"""Threaded execution backend: the same SPMD programs, real concurrency.
+
+The deterministic generator engine (:mod:`repro.machine.engine`) is the
+primary substrate, but nothing about the programs is simulator-specific:
+this module runs the *same* generator functions with one OS thread per
+logical processor, blocking receives on condition variables.  Numeric
+results are identical (message matching is FIFO per (source, dest, tag)
+channel and receives name their source), and the simulated clocks are
+still maintained, so analytic comparisons keep working — only the
+*scheduling* is now genuinely concurrent.
+
+This stands in for what an mpi4py port would look like, without the MPI
+launcher awkwardness: ``run_spmd_threaded(prog, topology, model, ...)``
+is a drop-in replacement for :func:`repro.machine.engine.run_spmd`.
+
+Deadlock handling: a watchdog flags the run when every live thread has
+been blocked on an empty channel for ``deadlock_timeout`` seconds and
+raises :class:`repro.errors.DeadlockError` in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Callable, Generator
+from typing import Any
+
+from repro.errors import DeadlockError, MachineError
+from repro.machine.engine import Channel, Proc, RunResult, _Message
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology
+from repro.machine.trace import TraceEvent
+
+
+class ThreadedEngine:
+    """Duck-type of :class:`repro.machine.engine.Engine` over threads."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        model: MachineModel | None = None,
+        trace: bool = False,
+        deadlock_timeout: float = 5.0,
+    ) -> None:
+        self.topology = topology
+        self.model = model or MachineModel()
+        self.procs = [Proc(self, r) for r in range(topology.size)]
+        self._queues: dict[Channel, deque[_Message]] = {}
+        self._cv = threading.Condition()
+        self._wait_channels: dict[int, Channel] = {}
+        self._live = 0
+        self._deadlocked = False
+        self._deadlock_timeout = deadlock_timeout
+        self.message_count = 0
+        self.message_words = 0
+        self._tracing = trace
+        self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+
+    # -- messaging (same protocol the Proc handle expects) ----------------
+    def deliver(self, msg: _Message) -> None:
+        with self._cv:
+            channel: Channel = (msg.source, msg.dest, msg.tag)
+            self._queues.setdefault(channel, deque()).append(msg)
+            self.message_count += 1
+            self.message_words += msg.words
+            self._cv.notify_all()
+
+    def try_pop(self, channel: Channel):
+        with self._cv:
+            queue = self._queues.get(channel)
+            if not queue:
+                return None
+            return queue.popleft()
+
+    def has_message(self, channel: Channel) -> bool:
+        with self._cv:
+            return bool(self._queues.get(channel))
+
+    def record(
+        self, rank: int, kind: str, start: float, end: float,
+        peer: int | None = None, words: int = 0, tag: int = 0, detail: str = "",
+    ) -> None:
+        if self._tracing:
+            # Each rank appends only to its own lane: no lock needed.
+            self.trace[rank].append(
+                TraceEvent(rank=rank, kind=kind, start=start, end=end,
+                           peer=peer, words=words, tag=tag, detail=detail)
+            )
+
+    def _true_deadlock(self) -> bool:
+        """All live threads blocked *and* none has a pending message.
+
+        Must be called with the condition lock held.  A thread whose
+        message has already arrived but which has not yet woken up still
+        counts as waiting, so emptiness of every waited channel is the
+        decisive test.
+        """
+        if len(self._wait_channels) < self._live:
+            return False
+        return all(not self._queues.get(ch) for ch in self._wait_channels.values())
+
+    # -- scheduler ----------------------------------------------------------
+    def run(
+        self,
+        program: Callable[..., Generator],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        per_rank_args: list[tuple] | None = None,
+    ) -> RunResult:
+        kwargs = kwargs or {}
+        values: list[Any] = [None] * len(self.procs)
+        errors: list[BaseException | None] = [None] * len(self.procs)
+
+        def worker(proc: Proc) -> None:
+            rank = proc.rank
+            try:
+                rank_args = per_rank_args[rank] if per_rank_args is not None else args
+                result = program(proc, *rank_args, **kwargs)
+                if not isinstance(result, Generator):
+                    values[rank] = result
+                    return
+                while True:
+                    try:
+                        channel = next(result)
+                    except StopIteration as stop:
+                        values[rank] = stop.value
+                        return
+                    # Blocked receive: wait until a message shows up.
+                    with self._cv:
+                        self._wait_channels[rank] = channel
+                        try:
+                            while not self._queues.get(channel):
+                                if self._deadlocked or self._true_deadlock():
+                                    self._deadlocked = True
+                                    self._cv.notify_all()
+                                    raise DeadlockError({rank: f"recv{channel}"})
+                                # A wait timeout alone is not a deadlock —
+                                # another thread may simply be computing;
+                                # loop and re-check the global condition.
+                                self._cv.wait(timeout=self._deadlock_timeout)
+                        finally:
+                            del self._wait_channels[rank]
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+            finally:
+                with self._cv:
+                    self._live -= 1
+                    self._cv.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, args=(proc,), name=f"spmd-{proc.rank}")
+            for proc in self.procs
+        ]
+        self._live = len(threads)
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        deadlocks = [e for e in errors if isinstance(e, DeadlockError)]
+        if deadlocks:
+            blocked: dict[int, str] = {}
+            for rank, e in enumerate(errors):
+                if isinstance(e, DeadlockError):
+                    blocked.update(e.blocked)
+            raise DeadlockError(blocked)
+        for e in errors:
+            if e is not None:
+                raise e
+
+        return RunResult(
+            values=values,
+            finish_times=[p.clock for p in self.procs],
+            message_count=self.message_count,
+            message_words=self.message_words,
+            trace=self.trace if self._tracing else None,
+        )
+
+
+def run_spmd_threaded(
+    program: Callable[..., Generator],
+    topology: Topology,
+    model: MachineModel | None = None,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    per_rank_args: list[tuple] | None = None,
+    trace: bool = False,
+    deadlock_timeout: float = 5.0,
+) -> RunResult:
+    """Drop-in threaded counterpart of :func:`repro.machine.run_spmd`."""
+    if topology.size > 256:
+        raise MachineError(
+            f"threaded backend capped at 256 threads, got {topology.size}"
+        )
+    engine = ThreadedEngine(
+        topology, model=model, trace=trace, deadlock_timeout=deadlock_timeout
+    )
+    return engine.run(program, args=args, kwargs=kwargs, per_rank_args=per_rank_args)

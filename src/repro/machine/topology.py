@@ -1,0 +1,300 @@
+"""Interconnect topologies: linear array, ring, 2-D grid, hypercube.
+
+The paper's abstract target machine is a q-D grid of ``N1 x ... x Nq``
+processors (§2) which "can be easily embedded into almost any distributed
+memory machine", e.g. into a hypercube via a binary reflected Gray code.
+This module provides the concrete topologies used by the simulator plus the
+Gray-code embedding so that grid communication can be costed on a hypercube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+
+def gray_code(i: int) -> int:
+    """The *i*-th binary reflected Gray code."""
+    if i < 0:
+        raise TopologyError(f"gray_code requires i >= 0, got {i}")
+    return i ^ (i >> 1)
+
+
+def inverse_gray_code(g: int) -> int:
+    """Index *i* such that ``gray_code(i) == g``."""
+    if g < 0:
+        raise TopologyError(f"inverse_gray_code requires g >= 0, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+class Topology:
+    """Base class; ranks are ``0..size-1``."""
+
+    size: int
+    name: str = "topology"
+
+    def hops(self, a: int, b: int) -> int:
+        """Routing distance between ranks *a* and *b* (0 when equal)."""
+        raise NotImplementedError
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        """Directly connected ranks."""
+        raise NotImplementedError
+
+    def check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise TopologyError(f"rank {rank} out of range for {self.name} of size {self.size}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self.size})"
+
+
+@dataclass(repr=False)
+class Linear(Topology):
+    """A non-wraparound linear processor array (paper Tables 3, 4)."""
+
+    n: int
+    name: str = field(default="linear", init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise TopologyError(f"Linear needs n >= 1, got {self.n}")
+        self.size = self.n
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_rank(a)
+        self.check_rank(b)
+        return abs(a - b)
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        self.check_rank(rank)
+        out = []
+        if rank > 0:
+            out.append(rank - 1)
+        if rank < self.n - 1:
+            out.append(rank + 1)
+        return tuple(out)
+
+
+@dataclass(repr=False)
+class Ring(Topology):
+    """A wraparound ring (paper Fig 5's four-processor ring)."""
+
+    n: int
+    name: str = field(default="ring", init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise TopologyError(f"Ring needs n >= 1, got {self.n}")
+        self.size = self.n
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_rank(a)
+        self.check_rank(b)
+        d = abs(a - b)
+        return min(d, self.n - d)
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        self.check_rank(rank)
+        if self.n == 1:
+            return ()
+        if self.n == 2:
+            return ((rank + 1) % 2,)
+        return ((rank - 1) % self.n, (rank + 1) % self.n)
+
+    def right(self, rank: int) -> int:
+        """Successor on the ring (direction of ``send_to_right``)."""
+        self.check_rank(rank)
+        return (rank + 1) % self.n
+
+    def left(self, rank: int) -> int:
+        """Predecessor on the ring."""
+        self.check_rank(rank)
+        return (rank - 1) % self.n
+
+
+@dataclass(repr=False)
+class Grid2D(Topology):
+    """An ``n1 x n2`` processor grid (torus); ranks in row-major order.
+
+    A processor is the tuple ``(p1, p2)`` with ``0 <= p_i < N_i`` exactly as
+    in §2 of the paper; dimension 1 indexes rows, dimension 2 columns.
+    """
+
+    n1: int
+    n2: int
+    torus: bool = True
+    name: str = field(default="grid", init=False)
+
+    def __post_init__(self) -> None:
+        if self.n1 < 1 or self.n2 < 1:
+            raise TopologyError(f"Grid2D needs positive extents, got {self.n1}x{self.n2}")
+        self.size = self.n1 * self.n2
+
+    # -- coordinates ----------------------------------------------------
+    def coords(self, rank: int) -> tuple[int, int]:
+        self.check_rank(rank)
+        return divmod(rank, self.n2)
+
+    def rank_of(self, p1: int, p2: int) -> int:
+        if not (0 <= p1 < self.n1 and 0 <= p2 < self.n2):
+            raise TopologyError(f"({p1}, {p2}) outside grid {self.n1}x{self.n2}")
+        return p1 * self.n2 + p2
+
+    def _axis_hops(self, a: int, b: int, extent: int) -> int:
+        d = abs(a - b)
+        return min(d, extent - d) if self.torus else d
+
+    def hops(self, a: int, b: int) -> int:
+        (a1, a2), (b1, b2) = self.coords(a), self.coords(b)
+        return self._axis_hops(a1, b1, self.n1) + self._axis_hops(a2, b2, self.n2)
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        p1, p2 = self.coords(rank)
+        out: list[int] = []
+        for d1, d2 in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            q1, q2 = p1 + d1, p2 + d2
+            if self.torus:
+                q1 %= self.n1
+                q2 %= self.n2
+            elif not (0 <= q1 < self.n1 and 0 <= q2 < self.n2):
+                continue
+            q = self.rank_of(q1, q2)
+            if q != rank and q not in out:
+                out.append(q)
+        return tuple(out)
+
+    # -- groups (for dimension-scoped collectives) ----------------------
+    def row_ranks(self, p1: int) -> tuple[int, ...]:
+        """All ranks sharing grid-dimension-1 coordinate *p1*."""
+        return tuple(self.rank_of(p1, p2) for p2 in range(self.n2))
+
+    def col_ranks(self, p2: int) -> tuple[int, ...]:
+        """All ranks sharing grid-dimension-2 coordinate *p2*."""
+        return tuple(self.rank_of(p1, p2) for p1 in range(self.n1))
+
+    def dim_group(self, rank: int, dim: int) -> tuple[int, ...]:
+        """Ranks that differ from *rank* only along grid dimension *dim*.
+
+        This is the processor set "lying on the specified grid dimension"
+        that the paper's collective primitives (§2.2) operate over.
+        """
+        p1, p2 = self.coords(rank)
+        if dim == 1:
+            return self.col_ranks(p2)  # vary p1
+        if dim == 2:
+            return self.row_ranks(p1)  # vary p2
+        raise TopologyError(f"grid dimension must be 1 or 2, got {dim}")
+
+    def shift_along(self, rank: int, dim: int, delta: int) -> int:
+        """Rank reached by moving *delta* along grid dimension *dim*."""
+        p1, p2 = self.coords(rank)
+        if dim == 1:
+            return self.rank_of((p1 + delta) % self.n1, p2)
+        if dim == 2:
+            return self.rank_of(p1, (p2 + delta) % self.n2)
+        raise TopologyError(f"grid dimension must be 1 or 2, got {dim}")
+
+
+@dataclass(repr=False)
+class Grid3D(Topology):
+    """An ``n1 x n2 x n3`` processor grid (torus); ranks lexicographic.
+
+    The paper (§2) notes that "it is possible to use higher dimensional
+    grids for achieving faster computation. For example, we can use a 3-D
+    grid for computing the 3-nested-loop matrix multiplication algorithm,
+    although each data array used in the algorithm is 2-D."
+    """
+
+    n1: int
+    n2: int
+    n3: int
+    name: str = field(default="grid3d", init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.n1, self.n2, self.n3) < 1:
+            raise TopologyError(
+                f"Grid3D needs positive extents, got {self.n1}x{self.n2}x{self.n3}"
+            )
+        self.size = self.n1 * self.n2 * self.n3
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        self.check_rank(rank)
+        p1, rest = divmod(rank, self.n2 * self.n3)
+        p2, p3 = divmod(rest, self.n3)
+        return (p1, p2, p3)
+
+    def rank_of(self, p1: int, p2: int, p3: int) -> int:
+        if not (0 <= p1 < self.n1 and 0 <= p2 < self.n2 and 0 <= p3 < self.n3):
+            raise TopologyError(f"({p1}, {p2}, {p3}) outside {self.n1}x{self.n2}x{self.n3}")
+        return (p1 * self.n2 + p2) * self.n3 + p3
+
+    def _axis_hops(self, a: int, b: int, extent: int) -> int:
+        d = abs(a - b)
+        return min(d, extent - d)
+
+    def hops(self, a: int, b: int) -> int:
+        ca, cb = self.coords(a), self.coords(b)
+        extents = (self.n1, self.n2, self.n3)
+        return sum(self._axis_hops(x, y, e) for x, y, e in zip(ca, cb, extents))
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        p = list(self.coords(rank))
+        extents = (self.n1, self.n2, self.n3)
+        out: list[int] = []
+        for axis in range(3):
+            for delta in (-1, 1):
+                q = list(p)
+                q[axis] = (q[axis] + delta) % extents[axis]
+                r = self.rank_of(*q)
+                if r != rank and r not in out:
+                    out.append(r)
+        return tuple(out)
+
+    def dim_group(self, rank: int, dim: int) -> tuple[int, ...]:
+        """Ranks differing from *rank* only along grid dimension *dim*."""
+        p1, p2, p3 = self.coords(rank)
+        if dim == 1:
+            return tuple(self.rank_of(q, p2, p3) for q in range(self.n1))
+        if dim == 2:
+            return tuple(self.rank_of(p1, q, p3) for q in range(self.n2))
+        if dim == 3:
+            return tuple(self.rank_of(p1, p2, q) for q in range(self.n3))
+        raise TopologyError(f"grid dimension must be 1..3, got {dim}")
+
+
+@dataclass(repr=False)
+class Hypercube(Topology):
+    """A *dim*-dimensional hypercube of ``2**dim`` processors."""
+
+    dim: int
+    name: str = field(default="hypercube", init=False)
+
+    def __post_init__(self) -> None:
+        if self.dim < 0:
+            raise TopologyError(f"Hypercube needs dim >= 0, got {self.dim}")
+        self.size = 1 << self.dim
+
+    def hops(self, a: int, b: int) -> int:
+        self.check_rank(a)
+        self.check_rank(b)
+        return (a ^ b).bit_count()
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        self.check_rank(rank)
+        return tuple(rank ^ (1 << d) for d in range(self.dim))
+
+    def embed_ring_rank(self, ring_position: int) -> int:
+        """Hypercube node hosting ring position *i* (Gray-code embedding).
+
+        Consecutive ring positions land on hypercube neighbors, which is
+        the embedding the paper cites ([10], Ho's thesis).
+        """
+        if not (0 <= ring_position < self.size):
+            raise TopologyError(f"ring position {ring_position} out of range")
+        return gray_code(ring_position)

@@ -1,0 +1,100 @@
+"""Event traces and schedule rendering (Fig 5-style step tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import Table
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timed event on one processor.
+
+    ``kind`` is one of ``compute``, ``delay``, ``send``, ``recv``.  For
+    communication events, ``peer`` is the other endpoint and ``words`` the
+    message size.  ``start``/``end`` are simulated times; for a ``recv``,
+    ``start`` is when the processor began waiting.
+    """
+
+    rank: int
+    kind: str
+    start: float
+    end: float
+    peer: int | None = None
+    words: int = 0
+    tag: int = 0
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def label(self) -> str:
+        if self.kind == "compute":
+            return self.detail or "compute"
+        if self.kind == "delay":
+            return self.detail or "delay"
+        if self.kind == "send":
+            return f"send->{self.peer}({self.words}w)"
+        if self.kind == "recv":
+            return f"recv<-{self.peer}({self.words}w)"
+        return self.kind
+
+
+def busy_time(events: list[TraceEvent], kinds: tuple[str, ...] = ("compute",)) -> float:
+    """Total duration of the given event kinds."""
+    return sum(e.duration for e in events if e.kind in kinds)
+
+
+def comm_time(events: list[TraceEvent]) -> float:
+    """Total time spent in send/recv (including recv waiting)."""
+    return busy_time(events, ("send", "recv"))
+
+
+def trace_table(
+    trace: list[list[TraceEvent]],
+    kinds: tuple[str, ...] = ("compute", "send", "recv"),
+    max_events: int | None = None,
+) -> str:
+    """Render a per-processor event table ordered by start time."""
+    table = Table(["t_start", "t_end", "proc", "event"])
+    events = sorted(
+        (e for lane in trace for e in lane if e.kind in kinds),
+        key=lambda e: (e.start, e.rank),
+    )
+    if max_events is not None:
+        events = events[:max_events]
+    for e in events:
+        table.add_row([f"{e.start:.2f}", f"{e.end:.2f}", f"P{e.rank}", e.label()])
+    return table.render()
+
+
+def gantt(
+    trace: list[list[TraceEvent]],
+    width: int = 72,
+    kinds: tuple[str, ...] = ("compute", "send", "recv"),
+) -> str:
+    """Render an ASCII Gantt chart: one row per processor.
+
+    ``#`` marks compute, ``>`` send, ``<`` recv (waiting + draining), ``.``
+    idle.  Useful to *see* the SOR pipeline fill and drain (paper Fig 5).
+    """
+    horizon = max((e.end for lane in trace for e in lane), default=0.0)
+    if horizon <= 0:
+        return "(empty trace)"
+    scale = width / horizon
+    glyphs = {"compute": "#", "delay": "#", "send": ">", "recv": "<"}
+    lines = []
+    for rank, lane in enumerate(trace):
+        row = ["."] * width
+        for e in lane:
+            if e.kind not in kinds:
+                continue
+            lo = min(width - 1, int(e.start * scale))
+            hi = min(width, max(lo + 1, int(e.end * scale)))
+            for x in range(lo, hi):
+                row[x] = glyphs.get(e.kind, "?")
+        lines.append(f"P{rank:<3}|{''.join(row)}|")
+    lines.append(f"    0{' ' * (width - 10)}{horizon:9.1f}")
+    return "\n".join(lines)

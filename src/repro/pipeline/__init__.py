@@ -1,0 +1,16 @@
+"""Pipelining (paper §5-§6): schedules, mappings, broadcast elimination."""
+
+from repro.pipeline.mapping import MappingChoice, choose_mapping, mapping_table
+from repro.pipeline.sor_schedule import ScheduleCell, sor_schedule_from_trace
+from repro.pipeline.transform import CommDecision, pipeline_decisions, pipeline_savings
+
+__all__ = [
+    "MappingChoice",
+    "choose_mapping",
+    "mapping_table",
+    "ScheduleCell",
+    "sor_schedule_from_trace",
+    "CommDecision",
+    "pipeline_decisions",
+    "pipeline_savings",
+]

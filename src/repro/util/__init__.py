@@ -1,0 +1,6 @@
+"""Shared utilities: table rendering and number formatting."""
+
+from repro.util.fmt import eng, fixed, ratio
+from repro.util.tables import Table, render_grid
+
+__all__ = ["Table", "render_grid", "eng", "fixed", "ratio"]

@@ -1,0 +1,63 @@
+"""Number formatting helpers used by benchmark and layout printers."""
+
+from __future__ import annotations
+
+import math
+
+_ENG_SUFFIXES = {
+    -4: "p",
+    -3: "n",
+    -2: "u",
+    -1: "m",
+    0: "",
+    1: "k",
+    2: "M",
+    3: "G",
+    4: "T",
+}
+
+
+def eng(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format *value* in engineering notation (powers of 1000).
+
+    >>> eng(0.00125, "s")
+    '1.25ms'
+    >>> eng(43_200, "flop")
+    '43.2kflop'
+    """
+    if value == 0:
+        return f"0{unit}"
+    if not math.isfinite(value):
+        return f"{value}{unit}"
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    exp3 = int(math.floor(math.log10(mag) / 3))
+    exp3 = max(min(exp3, max(_ENG_SUFFIXES)), min(_ENG_SUFFIXES))
+    scaled = mag / (1000.0**exp3)
+    # Keep `digits` significant digits.
+    if scaled >= 100:
+        text = f"{scaled:.{max(digits - 3, 0)}f}"
+    elif scaled >= 10:
+        text = f"{scaled:.{max(digits - 2, 0)}f}"
+    else:
+        text = f"{scaled:.{max(digits - 1, 0)}f}"
+    return f"{sign}{text}{_ENG_SUFFIXES[exp3]}{unit}"
+
+
+def fixed(value: float, decimals: int = 2) -> str:
+    """Format *value* with a fixed number of decimals, stripping ``-0``."""
+    text = f"{value:.{decimals}f}"
+    if text == f"-0.{'0' * decimals}":
+        text = text[1:]
+    return text
+
+
+def ratio(numerator: float, denominator: float, decimals: int = 2) -> str:
+    """Format a speedup-style ratio, guarding against zero denominators.
+
+    >>> ratio(3.0, 1.5)
+    '2.00x'
+    """
+    if denominator == 0:
+        return "inf" if numerator > 0 else "n/a"
+    return f"{numerator / denominator:.{decimals}f}x"

@@ -1,0 +1,97 @@
+"""ASCII table rendering for paper-style tables and layouts.
+
+The benchmark harnesses print the same rows the paper reports; this module
+keeps all of that formatting in one place so the benches stay declarative.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+class Table:
+    """A simple left-aligned ASCII table with a header row.
+
+    >>> t = Table(["N1 x N2", "Time"])
+    >>> t.add_row(["1 x 4", "12.5"])
+    >>> print(t.render())
+    | N1 x N2 | Time |
+    |---------|------|
+    | 1 x 4   | 12.5 |
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+            return f"| {inner} |"
+
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append(sep)
+        lines.extend(fmt_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_grid(
+    cells: Sequence[Sequence[Any]],
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a 2-D grid of cells (used for Fig 1-style layout pictures).
+
+    Every cell is stringified; columns are padded to a common width so the
+    grid reads like the paper's block diagrams.
+    """
+    text_cells = [[str(c) for c in row] for row in cells]
+    ncols = max((len(r) for r in text_cells), default=0)
+    for row in text_cells:
+        row.extend([""] * (ncols - len(row)))
+
+    col_head = [str(c) for c in col_labels] if col_labels else None
+    row_head = [str(r) for r in row_labels] if row_labels else None
+
+    widths = [0] * ncols
+    for row in text_cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if col_head:
+        for i, cell in enumerate(col_head[:ncols]):
+            widths[i] = max(widths[i], len(cell))
+    label_w = max((len(r) for r in row_head), default=0) if row_head else 0
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if col_head:
+        prefix = " " * (label_w + 2) if row_head else ""
+        lines.append(prefix + "  ".join(c.center(w) for c, w in zip(col_head, widths)))
+    for irow, row in enumerate(text_cells):
+        prefix = (row_head[irow].ljust(label_w) + "  ") if row_head else ""
+        lines.append(prefix + "  ".join(c.center(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

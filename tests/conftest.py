@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.kernels.linalg import make_spd_system
+from repro.machine.model import MachineModel
+
+# Reproducible CI: property tests derive their examples deterministically.
+settings.register_profile(
+    "repro-ci",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-ci")
+
+
+@pytest.fixture
+def model() -> MachineModel:
+    """The default cost model used across tests: tf=1, tc=10."""
+    return MachineModel(tf=1.0, tc=10.0)
+
+
+@pytest.fixture
+def unit_model() -> MachineModel:
+    """tf=1, tc=1 — convenient for exact hand-counted clock values."""
+    return MachineModel(tf=1.0, tc=1.0)
+
+
+@pytest.fixture
+def small_system():
+    """A well-conditioned 16x16 system (A, b, x_true)."""
+    return make_spd_system(16, seed=42)
+
+
+@pytest.fixture
+def medium_system():
+    """A well-conditioned 32x32 system (A, b, x_true)."""
+    return make_spd_system(32, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,127 @@
+"""HPF-style ALIGN directives and constrained alignment solving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import build_cag, exact_alignment, greedy_alignment
+from repro.errors import AlignmentError, ParseError
+from repro.lang import jacobi_program, parse_program, program_to_text
+from repro.machine.model import MachineModel
+
+MODEL = MachineModel(tf=1, tc=10)
+
+ALIGNED_JACOBI = """\
+PROGRAM jacobi
+PARAM m, maxiter
+ARRAY A(m, m), V(m), B(m), X(m)
+ALIGN B(i) WITH A(*, i)
+DO k = 1, maxiter
+  DO i = 1, m
+    V(i) = 0.0
+    DO j = 1, m
+      V(i) = V(i) + A(i, j) * X(j)
+    END DO
+  END DO
+  DO i = 1, m
+    X(i) = X(i) + (B(i) - V(i)) / A(i, i)
+  END DO
+END DO
+END
+"""
+
+
+class TestParsing:
+    def test_pairs_recorded(self):
+        p = parse_program(ALIGNED_JACOBI)
+        assert p.alignments == ((("B", 1), ("A", 2)),)
+
+    def test_multi_dim_align(self):
+        p = parse_program(
+            "PROGRAM t\nPARAM m\nARRAY A(m, m), L(m, m)\n"
+            "ALIGN L(a, b) WITH A(a, b)\nEND\n"
+        )
+        assert set(p.alignments) == {(("L", 1), ("A", 1)), (("L", 2), ("A", 2))}
+
+    def test_transposed_align(self):
+        p = parse_program(
+            "PROGRAM t\nPARAM m\nARRAY A(m, m), L(m, m)\n"
+            "ALIGN L(a, b) WITH A(b, a)\nEND\n"
+        )
+        assert set(p.alignments) == {(("L", 1), ("A", 2)), (("L", 2), ("A", 1))}
+
+    def test_undeclared_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM t\nPARAM m\nARRAY A(m)\nALIGN Q(i) WITH A(i)\nEND\n")
+
+    def test_undeclared_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM t\nPARAM m\nARRAY V(m)\nALIGN V(i) WITH Q(i)\nEND\n")
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "PROGRAM t\nPARAM m\nARRAY A(m, m), V(m)\nALIGN V(i, j) WITH A(i, j)\nEND\n"
+            )
+
+    def test_duplicate_placeholder_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "PROGRAM t\nPARAM m\nARRAY A(m, m), V(m)\nALIGN V(i) WITH A(i, i)\nEND\n"
+            )
+
+    def test_printer_roundtrip_semantics(self):
+        p = parse_program(ALIGNED_JACOBI)
+        again = parse_program(program_to_text(p))
+        assert set(again.alignments) == set(p.alignments)
+
+
+class TestConstrainedSolving:
+    def build(self, program):
+        return build_cag(
+            program.loops()[0].body, program, {"m": 256, "maxiter": 1}, MODEL, 16
+        )
+
+    def test_unconstrained_tie_resolved_by_align(self):
+        """B's placement is a cost tie in plain Jacobi; the ALIGN directive
+        pins it to A's second dimension (the paper's own §3 choice)."""
+        p = parse_program(ALIGNED_JACOBI)
+        cag = self.build(p)
+        constrained = exact_alignment(cag, q=2, must_align=p.alignments)
+        assert constrained.dim_of(("B", 1)) == constrained.dim_of(("A", 2))
+        # The optimum is unchanged (it was a tie).
+        free = exact_alignment(cag, q=2)
+        assert constrained.cut_weight == free.cut_weight
+
+    def test_costly_constraint_respected(self):
+        """Forcing V off A's first dimension costs cut weight but holds."""
+        p = jacobi_program()
+        cag = self.build(p)
+        forced = exact_alignment(
+            cag, q=2, must_align=((("V", 1), ("A", 2)),)
+        )
+        assert forced.dim_of(("V", 1)) == forced.dim_of(("A", 2))
+        free = exact_alignment(cag, q=2)
+        assert forced.cut_weight > free.cut_weight
+
+    def test_greedy_honors_constraints(self):
+        p = parse_program(ALIGNED_JACOBI)
+        cag = self.build(p)
+        al = greedy_alignment(cag, q=2, must_align=p.alignments)
+        assert al.dim_of(("B", 1)) == al.dim_of(("A", 2))
+
+    def test_conflicting_constraints_rejected(self):
+        p = jacobi_program()
+        cag = self.build(p)
+        with pytest.raises(AlignmentError):
+            exact_alignment(
+                cag,
+                q=2,
+                must_align=((("A", 1), ("V", 1)), (("A", 2), ("V", 1))),
+            )
+
+    def test_unknown_node_rejected(self):
+        p = jacobi_program()
+        cag = self.build(p)
+        with pytest.raises(AlignmentError):
+            exact_alignment(cag, q=2, must_align=((("Z", 1), ("A", 1)),))

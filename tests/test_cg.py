@@ -1,0 +1,79 @@
+"""Conjugate gradient kernel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.kernels.cg import cg_parallel, cg_seq
+from repro.machine import MachineModel, Ring, run_spmd
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def spd_system(m: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((m, m))
+    A = Q @ Q.T + m * np.eye(m)
+    x_true = rng.standard_normal(m)
+    return A, A @ x_true, x_true
+
+
+class TestSequential:
+    def test_solves_spd(self):
+        A, b, x_true = spd_system(24)
+        x, used = cg_seq(A, b, tol=1e-12)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+        assert used <= 2 * 24
+
+    def test_exact_in_m_iterations(self):
+        """CG converges in at most m steps in exact arithmetic."""
+        A, b, x_true = spd_system(12, seed=4)
+        x, used = cg_seq(A, b, tol=1e-10)
+        assert used <= 12 + 2
+
+    def test_indefinite_rejected(self):
+        A = np.diag([1.0, -1.0])
+        with pytest.raises(ReproError):
+            cg_seq(A, np.ones(2))
+
+    def test_zero_rhs_immediate(self):
+        A, _, _ = spd_system(8)
+        x, used = cg_seq(A, np.zeros(8))
+        assert used == 0 and (x == 0).all()
+
+
+class TestParallel:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+    def test_matches_sequential(self, nprocs):
+        A, b, x_true = spd_system(32, seed=1)
+        ref, ref_used = cg_seq(A, b, tol=1e-12)
+        res = run_spmd(cg_parallel, Ring(nprocs), MODEL, args=(A, b, 1e-12))
+        x, used = res.value(0)
+        np.testing.assert_allclose(x, ref, atol=1e-9)
+        assert used == ref_used
+
+    def test_all_ranks_agree(self):
+        A, b, _ = spd_system(24, seed=2)
+        res = run_spmd(cg_parallel, Ring(4), MODEL, args=(A, b))
+        xs = [res.value(r)[0] for r in range(4)]
+        for x in xs[1:]:
+            np.testing.assert_array_equal(xs[0], x)
+
+    def test_reduction_traffic_per_iteration(self):
+        """Two Allreduce + one allgather per iteration (plus setup)."""
+        A, b, _ = spd_system(16, seed=3)
+        res = run_spmd(cg_parallel, Ring(2), MODEL, args=(A, b, 1e-12))
+        _x, used = res.value(0)
+        # 2 procs: allreduce = reduce (1 msg) + bcast (1 msg) = 2 msgs;
+        # ring allgather = 2 msgs. Setup: 1 allreduce. Final: 1 allgather.
+        per_iter = 2 * 2 + 2
+        expected = 2 + used * per_iter + 2
+        assert res.message_count == expected
+
+    def test_faster_with_more_processors(self):
+        A, b, _ = spd_system(64, seed=5)
+        t2 = run_spmd(cg_parallel, Ring(2), MODEL, args=(A, b, 1e-10)).makespan
+        t8 = run_spmd(cg_parallel, Ring(8), MODEL, args=(A, b, 1e-10)).makespan
+        assert t8 < t2

@@ -1,0 +1,163 @@
+"""1-D distribution function tests (paper §2.1 Case 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.function import Dist1D, Kind
+from repro.errors import DistributionError
+
+
+def partitioned_dists():
+    """Random valid partitioned distributions."""
+    return st.one_of(
+        st.builds(
+            Dist1D.block_dist,
+            extent=st.integers(1, 64),
+            nprocs=st.integers(1, 8),
+            direction=st.sampled_from([1, -1]),
+        ),
+        st.builds(
+            Dist1D.cyclic_dist,
+            extent=st.integers(1, 64),
+            nprocs=st.integers(1, 8),
+            block=st.integers(1, 5),
+            direction=st.sampled_from([1, -1]),
+        ),
+    )
+
+
+class TestBlockDist:
+    def test_fig1_a_rows(self):
+        """Fig 1 (a): 16 elements over 4 procs, floor((i-1)/4)."""
+        d = Dist1D.block_dist(16, 4)
+        assert [d.owner(i) for i in (1, 4, 5, 16)] == [0, 0, 1, 3]
+
+    def test_uneven_extent(self):
+        d = Dist1D.block_dist(10, 4)  # blocks of ceil(10/4)=3
+        assert d.owner(10) == 3
+        assert sum(d.local_count(p) for p in range(4)) == 10
+
+    def test_decreasing(self):
+        """Paper parameter (3): decreasing indexing, d=-1."""
+        d = Dist1D.block_dist(16, 4, direction=-1)
+        assert d.owner(16) == 0 and d.owner(1) == 3
+
+    def test_indices_ascending(self):
+        d = Dist1D.block_dist(16, 4)
+        np.testing.assert_array_equal(d.indices_of(1), [5, 6, 7, 8])
+
+    def test_formula_text(self):
+        d = Dist1D.block_dist(16, 4)
+        assert d.formula("i") == "floor((i - 1) / 4)"
+
+    def test_out_of_range_subscript(self):
+        with pytest.raises(DistributionError):
+            Dist1D.block_dist(8, 2).owner(9)
+
+    def test_invalid_contiguous_mapping(self):
+        with pytest.raises(DistributionError):
+            Dist1D(extent=16, kind=Kind.BLOCK, nprocs=2, block=4, disp=-1)
+
+
+class TestCyclicDist:
+    def test_pure_cyclic(self):
+        """§6: f(i) = (i-1) mod N."""
+        d = Dist1D.cyclic_dist(16, 4)
+        assert [d.owner(i) for i in (1, 2, 5, 16)] == [0, 1, 0, 3]
+
+    def test_block_cyclic(self):
+        d = Dist1D.cyclic_dist(16, 2, block=2)
+        # blocks of 2, alternating: 1,2 -> 0; 3,4 -> 1; 5,6 -> 0 ...
+        assert [d.owner(i) for i in (1, 2, 3, 4, 5)] == [0, 0, 1, 1, 0]
+
+    def test_cyclic_decreasing(self):
+        d = Dist1D.cyclic_dist(8, 4, direction=-1)
+        assert d.owner(8) == 0 and d.owner(7) == 1
+
+    def test_formula_mentions_mod(self):
+        assert "mod 4" in Dist1D.cyclic_dist(16, 4).formula()
+
+    def test_balanced_load(self):
+        d = Dist1D.cyclic_dist(17, 4)
+        counts = [d.local_count(p) for p in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestReplicated:
+    def test_owner_none(self):
+        d = Dist1D.replicated(8)
+        assert d.owner(3) is None
+        assert d.is_replicated
+
+    def test_indices_everything(self):
+        d = Dist1D.replicated(5)
+        assert list(d.indices_of(0)) == [1, 2, 3, 4, 5]
+
+    def test_max_local_count(self):
+        assert Dist1D.replicated(5).max_local_count() == 5
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(partitioned_dists())
+    def test_partition(self, d):
+        """Every subscript has exactly one owner within the grid."""
+        owners = d.owners()
+        assert owners.shape == (d.extent,)
+        assert ((owners >= 0) & (owners < d.nprocs)).all()
+        total = sum(d.local_count(p) for p in range(d.nprocs))
+        assert total == d.extent
+
+    @settings(max_examples=60, deadline=None)
+    @given(partitioned_dists())
+    def test_local_global_roundtrip(self, d):
+        for i in range(1, d.extent + 1):
+            p = d.owner(i)
+            local = d.local_index(i)
+            assert d.global_index(p, local) == i
+
+    @settings(max_examples=60, deadline=None)
+    @given(partitioned_dists())
+    def test_owner_matches_owners_vector(self, d):
+        owners = d.owners()
+        for i in range(1, d.extent + 1):
+            assert d.owner(i) == owners[i - 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(partitioned_dists())
+    def test_max_local_count_bound(self, d):
+        assert d.max_local_count() >= -(-d.extent // d.nprocs) - d.block
+
+    def test_local_index_errors(self):
+        d = Dist1D.block_dist(8, 2)
+        with pytest.raises(DistributionError):
+            d.global_index(0, 10)
+        with pytest.raises(DistributionError):
+            d.indices_of(5)
+
+
+class TestValidation:
+    def test_bad_extent(self):
+        with pytest.raises(DistributionError):
+            Dist1D(extent=0, kind=Kind.REPLICATED)
+
+    def test_bad_nprocs(self):
+        with pytest.raises(DistributionError):
+            Dist1D(extent=4, kind=Kind.CYCLIC, nprocs=0)
+
+    def test_bad_direction(self):
+        with pytest.raises(DistributionError):
+            Dist1D(extent=4, kind=Kind.CYCLIC, nprocs=2, direction=2)
+
+    def test_bad_block(self):
+        with pytest.raises(DistributionError):
+            Dist1D(extent=4, kind=Kind.CYCLIC, nprocs=2, block=0)
+
+    def test_str_forms(self):
+        assert "cyclic" in str(Dist1D.cyclic_dist(8, 2))
+        assert "decreasing" in str(Dist1D.block_dist(8, 2, direction=-1))
+        assert str(Dist1D.replicated(4)) == "replicated"

@@ -1,0 +1,144 @@
+"""2-D distribution function tests: independent and rotated (Fig 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.function import Dist1D
+from repro.distribution.function2d import (
+    Coupling,
+    Dist2D,
+    cannon_a_layout,
+    cannon_b_layout,
+)
+from repro.errors import DistributionError
+
+
+def rotated_dists():
+    return st.builds(
+        Dist2D,
+        rows=st.builds(Dist1D.block_dist, extent=st.just(16), nprocs=st.just(4), grid_dim=st.just(1)),
+        cols=st.builds(Dist1D.block_dist, extent=st.just(16), nprocs=st.just(4), grid_dim=st.just(2)),
+        coupling=st.sampled_from([Coupling.ROTATE_DIM1, Coupling.ROTATE_DIM2]),
+        d1=st.sampled_from([1, -1]),
+        d2=st.sampled_from([1, -1]),
+    )
+
+
+class TestIndependent:
+    def test_fig1_a(self):
+        d = Dist2D.block_block(16, 16, 4, 4)
+        assert d.owner(1, 1) == (0, 0)
+        assert d.owner(16, 16) == (3, 3)
+        assert d.owner(5, 12) == (1, 2)
+
+    def test_row_blocks_fig1_d(self):
+        d = Dist2D.row_blocks(16, 16, 4)
+        p1, p2 = d.owner(6, 3)
+        assert p1 == 1 and p2 is None  # replicated along dim 2
+
+    def test_col_blocks(self):
+        d = Dist2D.col_blocks(16, 16, 4)
+        p1, p2 = d.owner(6, 3)
+        assert p1 is None and p2 == 0
+
+    def test_extents_and_shape(self):
+        d = Dist2D.block_block(8, 12, 2, 3)
+        assert d.extents == (8, 12)
+        assert d.n1 == 2 and d.n2 == 3
+
+    def test_is_partition(self):
+        assert Dist2D.block_block(8, 8, 2, 2).is_partition()
+        assert not Dist2D.row_blocks(8, 8, 2).is_partition()
+
+
+class TestRotated:
+    def test_fig1_b_picture(self):
+        """Fig 1 (b): (z1, (-z1 - z2) mod 4)."""
+        d = Dist2D(
+            rows=Dist1D.block_dist(16, 4, grid_dim=1),
+            cols=Dist1D.block_dist(16, 4, grid_dim=2),
+            coupling=Coupling.ROTATE_DIM2,
+            d1=-1,
+            d2=-1,
+        )
+        # Block-row 0 reads 00 03 02 01 across the column blocks.
+        assert [d.owner(1, 4 * z + 1)[1] for z in range(4)] == [0, 3, 2, 1]
+        # Block-row 1 reads 13 12 11 10.
+        assert [d.owner(5, 4 * z + 1)[1] for z in range(4)] == [3, 2, 1, 0]
+
+    def test_fig1_c_picture(self):
+        """Fig 1 (c): ((-z1 - z2) mod 4, z2)."""
+        d = Dist2D(
+            rows=Dist1D.block_dist(16, 4, grid_dim=1),
+            cols=Dist1D.block_dist(16, 4, grid_dim=2),
+            coupling=Coupling.ROTATE_DIM1,
+            d1=-1,
+            d2=-1,
+        )
+        assert [d.owner(4 * z + 1, 1)[0] for z in range(4)] == [0, 3, 2, 1]
+
+    def test_rotation_requires_partitioned(self):
+        with pytest.raises(DistributionError):
+            Dist2D(
+                rows=Dist1D.replicated(8),
+                cols=Dist1D.block_dist(8, 2, grid_dim=2),
+                coupling=Coupling.ROTATE_DIM2,
+            )
+
+    def test_bad_signs(self):
+        with pytest.raises(DistributionError):
+            Dist2D(
+                rows=Dist1D.block_dist(8, 2),
+                cols=Dist1D.block_dist(8, 2),
+                coupling=Coupling.ROTATE_DIM2,
+                d1=2,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(rotated_dists())
+    def test_rotation_preserves_partition(self, d):
+        """Skewing permutes blocks; every element still has one owner."""
+        counts = np.zeros((4, 4), dtype=int)
+        for p1 in range(4):
+            for p2 in range(4):
+                counts[p1, p2] = d.local_count(p1, p2)
+        assert counts.sum() == 16 * 16
+        assert (counts == 16).all()  # uniform 4x4 blocks
+
+    @settings(max_examples=20, deadline=None)
+    @given(rotated_dists())
+    def test_owner_grids_match_owner(self, d):
+        g1, g2 = d.owner_grids
+        for i, j in [(1, 1), (5, 9), (16, 16), (8, 3)]:
+            assert d.owner(i, j) == (g1[i - 1, j - 1], g2[i - 1, j - 1])
+
+
+class TestCannonLayouts:
+    def test_a_layout_shifts_rows(self):
+        d = cannon_a_layout(16, 4)
+        # Block (z1, z2) sits on processor (z1, (z2 - z1) mod 4): the block
+        # on processor row 1, column 0 is matrix block (1, 1).
+        owner = d.owner(5, 5)  # matrix block (1, 1)
+        assert owner == (1, 0)
+
+    def test_b_layout_shifts_cols(self):
+        d = cannon_b_layout(16, 4)
+        owner = d.owner(5, 5)
+        assert owner == (0, 1)
+
+    def test_cannon_alignment_property(self):
+        """On every processor, A's column-block index equals B's row-block
+        index — the Cannon invariant that makes step 0 multiply valid."""
+        q = 4
+        da, db = cannon_a_layout(16, q), cannon_b_layout(16, q)
+        for p1 in range(q):
+            for p2 in range(q):
+                a_cells = da.indices_of(p1, p2)
+                b_cells = db.indices_of(p1, p2)
+                a_colblock = {(j - 1) // 4 for _, j in a_cells}
+                b_rowblock = {(i - 1) // 4 for i, _ in b_cells}
+                assert a_colblock == b_rowblock == {(p1 + p2) % q}

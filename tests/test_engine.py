@@ -1,0 +1,256 @@
+"""Engine semantics: message passing, clocks, determinism, deadlock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.machine import Linear, MachineModel, Ring, run_spmd
+from repro.machine.engine import _payload_words
+
+
+class TestPayloadWords:
+    def test_array(self):
+        assert _payload_words(np.zeros((3, 4))) == 12
+
+    def test_scalar(self):
+        assert _payload_words(3.14) == 1
+        assert _payload_words(np.float64(1.0)) == 1
+
+    def test_tuple(self):
+        assert _payload_words((np.zeros(5), 1.0)) == 6
+
+    def test_none(self):
+        assert _payload_words(None) == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CommunicationError):
+            _payload_words(object())
+
+
+class TestPointToPoint:
+    def test_basic_send_recv(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, 42.0)
+                return None
+            value = yield from p.recv(0)
+            return value
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values[1] == 42.0
+
+    def test_fifo_per_channel(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                for i in range(5):
+                    p.send(1, float(i))
+                return None
+            got = []
+            for _ in range(5):
+                value = yield from p.recv(0)
+                got.append(value)
+            return got
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_tags_separate_channels(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, "a", words=1, tag=1)
+                p.send(1, "b", words=1, tag=2)
+                return None
+            second = yield from p.recv(0, tag=2)
+            first = yield from p.recv(0, tag=1)
+            return (first, second)
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values[1] == ("a", "b")
+
+    def test_payload_snapshot(self, unit_model):
+        """Mutating the array after send must not corrupt the message."""
+
+        def prog(p):
+            if p.rank == 0:
+                data = np.ones(4)
+                p.send(1, data)
+                data[:] = -1
+                return None
+            value = yield from p.recv(0)
+            return value.tolist()
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values[1] == [1.0, 1.0, 1.0, 1.0]
+
+    def test_self_send_rejected(self, unit_model):
+        def prog(p):
+            p.send(p.rank, 1.0)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(CommunicationError):
+            run_spmd(prog, Ring(2), unit_model)
+
+    def test_self_recv_rejected(self, unit_model):
+        def prog(p):
+            value = yield from p.recv(p.rank)
+            return value
+
+        with pytest.raises(CommunicationError):
+            run_spmd(prog, Ring(2), unit_model)
+
+
+class TestClocks:
+    def test_compute_advances_clock(self, unit_model):
+        def prog(p):
+            p.compute(100)
+            return p.clock
+            yield  # pragma: no cover
+
+        res = run_spmd(prog, Ring(1), unit_model)
+        assert res.finish_times[0] == 100.0
+
+    def test_send_occupancy(self):
+        model = MachineModel(tf=1, tc=2, alpha=5)
+
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, np.zeros(10))  # 5 + 10*2 = 25
+            else:
+                yield from p.recv(0)
+            return p.clock
+
+        res = run_spmd(prog, Ring(2), model)
+        assert res.values[0] == 25.0
+        # receiver: waits until 25, pays 5 + 20 again
+        assert res.values[1] == 50.0
+
+    def test_recv_does_not_wait_if_message_early(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, 1.0)  # available at t=1
+            else:
+                p.compute(100)
+                value = yield from p.recv(0)
+                assert value == 1.0
+            return p.clock
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values[1] == 101.0  # no waiting, just 1 word recv
+
+    def test_overlap_reduces_occupancy(self):
+        model = MachineModel(tf=1, tc=2, alpha=3, overlap=True)
+
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, np.zeros(10))
+            else:
+                yield from p.recv(0)
+            return p.clock
+
+        res = run_spmd(prog, Ring(2), model)
+        assert res.values[0] == 3.0  # alpha only
+        # latency unchanged: 3 (occupancy) + 3+20 (wire) then alpha recv
+        assert res.values[1] == 26.0 + 3.0
+
+    def test_hop_cost(self):
+        model = MachineModel(tf=1, tc=1, hop_cost=7)
+
+        def prog(p):
+            if p.rank == 0:
+                p.send(2, 1.0)  # 2 hops on a linear array -> 1 extra hop
+            elif p.rank == 2:
+                yield from p.recv(0)
+            return p.clock
+
+        res = run_spmd(prog, Linear(3), model)
+        assert res.values[2] == 1.0 + 7.0 + 1.0
+
+    def test_makespan(self, unit_model):
+        def prog(p):
+            p.compute(10 * (p.rank + 1))
+            return None
+            yield  # pragma: no cover
+
+        res = run_spmd(prog, Ring(3), unit_model)
+        assert res.makespan == 30.0
+
+
+class TestDeterminism:
+    def test_identical_reruns(self, model, small_system):
+        from repro.kernels import sor_pipelined
+
+        A, b, _ = small_system
+        runs = [
+            run_spmd(sor_pipelined, Ring(4), model, args=(A, b, np.zeros(16), 1.0, 3))
+            for _ in range(2)
+        ]
+        assert runs[0].finish_times == runs[1].finish_times
+        assert np.array_equal(runs[0].value(0), runs[1].value(0))
+        assert runs[0].message_count == runs[1].message_count
+
+
+class TestDeadlock:
+    def test_mutual_recv_deadlocks(self, unit_model):
+        def prog(p):
+            other = 1 - p.rank
+            value = yield from p.recv(other)
+            return value
+
+        with pytest.raises(DeadlockError) as exc:
+            run_spmd(prog, Ring(2), unit_model)
+        assert 0 in exc.value.blocked and 1 in exc.value.blocked
+
+    def test_partial_deadlock_detected(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                return "done"
+            value = yield from p.recv(0, tag=99)
+            return value
+
+        with pytest.raises(DeadlockError):
+            run_spmd(prog, Ring(2), unit_model)
+
+
+class TestRunHarness:
+    def test_per_rank_args(self, unit_model):
+        def prog(p, value):
+            return value * 2
+            yield  # pragma: no cover
+
+        res = run_spmd(prog, Ring(3), unit_model, per_rank_args=[(1,), (2,), (3,)])
+        assert res.values == [2, 4, 6]
+
+    def test_plain_function_program(self, unit_model):
+        def prog(p):
+            p.compute(5)
+            return p.rank
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.values == [0, 1]
+
+    def test_message_stats(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, np.zeros(7))
+            else:
+                yield from p.recv(0)
+
+        res = run_spmd(prog, Ring(2), unit_model)
+        assert res.message_count == 1 and res.message_words == 7
+
+    def test_trace_collection(self, unit_model):
+        def prog(p):
+            p.compute(3, label="work")
+            if p.rank == 0:
+                p.send(1, 1.0)
+            else:
+                yield from p.recv(0)
+
+        res = run_spmd(prog, Ring(2), unit_model, trace=True)
+        kinds0 = [e.kind for e in res.trace[0]]
+        assert kinds0 == ["compute", "send"]
+        kinds1 = [e.kind for e in res.trace[1]]
+        assert kinds1 == ["compute", "recv"]

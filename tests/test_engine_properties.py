@@ -1,0 +1,109 @@
+"""Property-based engine tests on randomized traffic patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.machine.threaded import run_spmd_threaded
+
+
+def ring_relay(p, payload_sizes, compute_amounts, rounds):
+    """Deterministic ring relay with data-dependent payload mutation."""
+    import numpy as _np
+
+    n = p.nprocs
+    right = (p.rank + 1) % n
+    left = (p.rank - 1) % n
+    data = _np.full(payload_sizes[p.rank], float(p.rank))
+    total = 0.0
+    for r in range(rounds):
+        p.compute(compute_amounts[(p.rank + r) % len(compute_amounts)])
+        if n > 1:
+            p.send(right, data, tag=7)
+            data = yield from p.recv(left, tag=7)
+        total += float(data.sum())
+        data = data + 1.0
+    return total
+
+
+@st.composite
+def traffic(draw):
+    n = draw(st.integers(1, 6))
+    sizes = [draw(st.integers(1, 16)) for _ in range(n)]
+    computes = [draw(st.integers(0, 50)) for _ in range(max(n, 1))]
+    rounds = draw(st.integers(1, 6))
+    return n, sizes, computes, rounds
+
+
+class TestEngineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(traffic())
+    def test_determinism_across_reruns(self, t):
+        n, sizes, computes, rounds = t
+        model = MachineModel(tf=1, tc=3)
+        r1 = run_spmd(ring_relay, Ring(n), model, args=(sizes, computes, rounds))
+        r2 = run_spmd(ring_relay, Ring(n), model, args=(sizes, computes, rounds))
+        assert r1.values == r2.values
+        assert r1.finish_times == r2.finish_times
+        assert r1.message_words == r2.message_words
+
+    @settings(max_examples=20, deadline=None)
+    @given(traffic())
+    def test_trace_lanes_monotone_and_disjoint(self, t):
+        n, sizes, computes, rounds = t
+        res = run_spmd(
+            ring_relay,
+            Ring(n),
+            MachineModel(tf=1, tc=3),
+            args=(sizes, computes, rounds),
+            trace=True,
+        )
+        for lane in res.trace:
+            for a, b in zip(lane, lane[1:]):
+                assert a.end <= b.start + 1e-9  # events never overlap
+            for e in lane:
+                assert e.end >= e.start >= 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(traffic())
+    def test_finish_time_bounds(self, t):
+        """Makespan at least each proc's own busy time, and no clock
+        exceeds total injected work + total communication."""
+        n, sizes, computes, rounds = t
+        res = run_spmd(
+            ring_relay,
+            Ring(n),
+            MachineModel(tf=1, tc=3),
+            args=(sizes, computes, rounds),
+            trace=True,
+        )
+        from repro.machine.trace import busy_time, comm_time
+
+        for rank, lane in enumerate(res.trace):
+            busy = busy_time(lane) + comm_time(lane)
+            assert res.finish_times[rank] <= busy + 1e-9
+            assert res.finish_times[rank] >= busy_time(lane)
+
+    @settings(max_examples=10, deadline=None)
+    @given(traffic())
+    def test_threaded_backend_parity(self, t):
+        n, sizes, computes, rounds = t
+        model = MachineModel(tf=1, tc=3)
+        det = run_spmd(ring_relay, Ring(n), model, args=(sizes, computes, rounds))
+        thr = run_spmd_threaded(ring_relay, Ring(n), model, args=(sizes, computes, rounds))
+        assert det.values == thr.values
+        assert det.finish_times == thr.finish_times
+
+    @settings(max_examples=20, deadline=None)
+    @given(traffic())
+    def test_message_conservation(self, t):
+        """Every send is received: counts match the program structure."""
+        n, sizes, computes, rounds = t
+        res = run_spmd(
+            ring_relay, Ring(n), MachineModel(tf=1, tc=3), args=(sizes, computes, rounds)
+        )
+        expected = rounds * n if n > 1 else 0
+        assert res.message_count == expected

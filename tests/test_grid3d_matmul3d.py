@@ -1,0 +1,104 @@
+"""Grid3D topology and the 3-D matmul kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError, TopologyError
+from repro.kernels.matmul3d import assemble_3d, matmul_3d
+from repro.machine import MachineModel, run_spmd
+from repro.machine.topology import Grid3D
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+class TestGrid3D:
+    def test_size_and_coords_roundtrip(self):
+        g = Grid3D(2, 3, 4)
+        assert g.size == 24
+        for r in range(g.size):
+            assert g.rank_of(*g.coords(r)) == r
+
+    def test_invalid_extents(self):
+        with pytest.raises(TopologyError):
+            Grid3D(0, 2, 2)
+
+    def test_rank_of_bounds(self):
+        with pytest.raises(TopologyError):
+            Grid3D(2, 2, 2).rank_of(0, 0, 2)
+
+    def test_hops_torus(self):
+        g = Grid3D(4, 4, 4)
+        a = g.rank_of(0, 0, 0)
+        b = g.rank_of(3, 3, 3)
+        assert g.hops(a, b) == 3  # one wrap hop per axis
+
+    def test_neighbors_count(self):
+        g = Grid3D(3, 3, 3)
+        assert len(g.neighbors(g.rank_of(1, 1, 1))) == 6
+
+    def test_neighbors_dedup_small_axis(self):
+        g = Grid3D(2, 1, 1)
+        assert g.neighbors(0) == (1,)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3])
+    def test_dim_groups_partition(self, dim):
+        g = Grid3D(2, 3, 2)
+        seen = []
+        for r in range(g.size):
+            grp = g.dim_group(r, dim)
+            assert r in grp
+            seen.append(tuple(sorted(grp)))
+        # Every rank appears in exactly one distinct group of its line.
+        distinct = set(seen)
+        total = sum(len(grp) for grp in distinct)
+        assert total == g.size
+
+    def test_dim_group_invalid(self):
+        with pytest.raises(TopologyError):
+            Grid3D(2, 2, 2).dim_group(0, 4)
+
+
+class TestMatmul3D:
+    @pytest.mark.parametrize("q,n", [(1, 6), (2, 8), (3, 12), (4, 16)])
+    def test_matches_numpy(self, q, n):
+        rng = np.random.default_rng(q)
+        B, C = rng.random((n, n)), rng.random((n, n))
+        topo = Grid3D(q, q, q)
+        res = run_spmd(matmul_3d, topo, MODEL, args=(B, C, q))
+        got = assemble_3d(res.values, topo)
+        np.testing.assert_allclose(got, B @ C, atol=1e-10)
+
+    def test_result_only_on_k0_plane(self):
+        q, n = 2, 8
+        rng = np.random.default_rng(0)
+        B = rng.random((n, n))
+        topo = Grid3D(q, q, q)
+        res = run_spmd(matmul_3d, topo, MODEL, args=(B, B, q))
+        for rank, value in enumerate(res.values):
+            _p1, _p2, p3 = topo.coords(rank)
+            assert (value is not None) == (p3 == 0)
+
+    def test_wrong_topology_rejected(self):
+        from repro.machine import Grid2D
+
+        B = np.zeros((8, 8))
+        with pytest.raises(MachineError):
+            run_spmd(matmul_3d, Grid2D(4, 2), MODEL, args=(B, B, 2))
+
+    def test_indivisible_rejected(self):
+        B = np.zeros((9, 9))
+        with pytest.raises(MachineError):
+            run_spmd(matmul_3d, Grid3D(2, 2, 2), MODEL, args=(B, B, 2))
+
+    def test_fewer_words_than_cannon_at_p64(self):
+        from repro.kernels import cannon_matmul
+        from repro.machine import Grid2D
+
+        n = 48
+        rng = np.random.default_rng(1)
+        B, C = rng.random((n, n)), rng.random((n, n))
+        r3 = run_spmd(matmul_3d, Grid3D(4, 4, 4), MODEL, args=(B, C, 4))
+        r2 = run_spmd(cannon_matmul, Grid2D(8, 8), MODEL, args=(B, C, 8))
+        assert r3.message_words < r2.message_words

@@ -1,0 +1,103 @@
+"""Tokenizer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source) if t.kind not in ("NEWLINE", "EOF")]
+
+
+class TestBasics:
+    def test_empty(self):
+        assert kinds("") == ["EOF"]
+
+    def test_name_and_number(self):
+        assert texts("x 42") == ["x", "42"]
+
+    def test_float(self):
+        toks = tokenize("0.5")
+        assert toks[0].kind == "NUMBER" and toks[0].text == "0.5"
+
+    def test_exponent(self):
+        assert texts("1.5e-3")[0] == "1.5e-3"
+
+    def test_operators(self):
+        assert texts("a + b * (c - d) / e, f = g") == [
+            "a", "+", "b", "*", "(", "c", "-", "d", ")", "/", "e", ",", "f", "=", "g",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("do Do DO end End PROGRAM")
+        assert all(t.kind == "KEYWORD" for t in toks[:-2])
+
+    def test_names_preserve_case(self):
+        assert texts("Alpha BETA") == ["Alpha", "BETA"]
+
+    def test_underscore_names(self):
+        assert texts("max_iter _x")[0] == "max_iter"
+
+    def test_ends_with_newline_and_eof(self):
+        toks = tokenize("x")
+        assert toks[-2].kind == "NEWLINE" and toks[-1].kind == "EOF"
+
+    def test_collapses_blank_lines(self):
+        newlines = [t for t in tokenize("a\n\n\nb") if t.kind == "NEWLINE"]
+        assert len(newlines) == 2
+
+
+class TestComments:
+    def test_bang_comment(self):
+        assert texts("a ! this is ignored\nb") == ["a", "b"]
+
+    def test_brace_comment(self):
+        assert texts("a {* hidden *} b") == ["a", "b"]
+
+    def test_multiline_brace_comment_tracks_lines(self):
+        toks = tokenize("{* one\ntwo *}\nx")
+        name = [t for t in toks if t.kind == "NAME"][0]
+        assert name.line == 3
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("{* never closed")
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b")
+        assert exc.value.line == 1
+
+    def test_double_dot_number(self):
+        with pytest.raises(LexError):
+            tokenize("1.2.3")
+
+    def test_error_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n  %")
+        assert exc.value.line == 2
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        names = [t for t in toks if t.kind == "NAME"]
+        assert [t.line for t in names] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")
+        names = [t for t in toks if t.kind == "NAME"]
+        assert [t.column for t in names] == [1, 4]
+
+    def test_token_repr(self):
+        t = Token("NAME", "x", 1, 1)
+        assert "NAME" in repr(t) and "x" in repr(t)

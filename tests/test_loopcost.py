@@ -1,0 +1,155 @@
+"""Rule-based loop-cost estimator tests against the paper's formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import estimate_loop_cost
+from repro.distribution import ArrayPlacement, Scheme
+from repro.lang import jacobi_program, parse_program, sor_program
+from repro.machine.model import MachineModel
+
+MODEL = MachineModel(tf=1, tc=10)
+M, N = 256, 16
+ENV = {"m": M, "maxiter": 1}
+
+
+def jacobi_loops():
+    outer = jacobi_program().loops()[0]
+    l1, l2 = outer.body
+    return l1, l2
+
+
+def section3_scheme(x_replicated=True):
+    """{A1, V} -> dim 1, {A2, B, X} -> dim 2 (paper §3)."""
+    return Scheme.of(
+        ArrayPlacement("A", (1, 2)),
+        ArrayPlacement("V", (1,)),
+        ArrayPlacement("B", (2,)),
+        ArrayPlacement("X", (2,), rest="replicated" if x_replicated else "fixed"),
+    )
+
+
+class TestJacobiL1:
+    def test_comp_2m2_over_N(self):
+        l1, _ = jacobi_loops()
+        cost = estimate_loop_cost(l1, section3_scheme(), (1, N), ENV, MODEL)
+        assert cost.comp == 2 * M * M / N
+
+    def test_reduction_term_grid_1xN(self):
+        """Reduction(m/N1, N2) with N1=1: Reduction(m, N) = m log N tc."""
+        l1, _ = jacobi_loops()
+        cost = estimate_loop_cost(l1, section3_scheme(), (1, N), ENV, MODEL)
+        assert cost.comm == M * 4 * 10
+
+    def test_no_reduction_grid_Nx1(self):
+        """With N2=1 the reduction dimension collapses: comm free."""
+        l1, _ = jacobi_loops()
+        cost = estimate_loop_cost(l1, section3_scheme(), (N, 1), ENV, MODEL)
+        assert cost.comm == 0
+        assert cost.comp == 2 * M * M / N
+
+    def test_2d_grid_splits_both(self):
+        l1, _ = jacobi_loops()
+        cost = estimate_loop_cost(l1, section3_scheme(), (4, 4), ENV, MODEL)
+        assert cost.comp == 2 * M * M / 16
+        # Reduction(m/4, 4) = (m/4) * 2 * tc
+        assert cost.comm == (M / 4) * 2 * 10
+
+
+class TestJacobiL2:
+    def test_comp_3m_over_N2(self):
+        _, l2 = jacobi_loops()
+        cost = estimate_loop_cost(l2, section3_scheme(), (1, N), ENV, MODEL)
+        assert cost.comp == 3 * M / N
+
+    def test_realignment_v_to_x_on_Nx1(self):
+        """V on dim 1 read by X owners: with N2=1 the LHS is effectively
+        undistributed, so V must be allgathered: ManyToMany(m/N, N)."""
+        _, l2 = jacobi_loops()
+        cost = estimate_loop_cost(l2, section3_scheme(), (N, 1), ENV, MODEL)
+        assert cost.comp == 3 * M  # replicated computation
+        assert cost.comm > 0
+
+    def test_aligned_everything_free(self):
+        """§4's L2 scheme: all 1-D arrays on dim 1 — no communication."""
+        _, l2 = jacobi_loops()
+        scheme = Scheme.of(
+            ArrayPlacement("A", (1, 2)),
+            ArrayPlacement("V", (1,)),
+            ArrayPlacement("B", (1,)),
+            ArrayPlacement("X", (1,)),
+        )
+        cost = estimate_loop_cost(l2, scheme, (N, 1), ENV, MODEL)
+        assert cost.comm == 0
+        assert cost.comp == 3 * M / N
+
+
+class TestSequentialVars:
+    def test_sor_reduction_per_step(self):
+        """§5: marking i sequential gives m x Reduction(1, N)."""
+        outer = sor_program().loops()[0]
+        scheme = Scheme.of(
+            ArrayPlacement("A", (1, 2)),
+            ArrayPlacement("V", (1,)),
+            ArrayPlacement("B", (2,)),
+            ArrayPlacement("X", (2,), rest="replicated"),
+        )
+        cost = estimate_loop_cost(
+            outer.body[0], scheme, (1, N), ENV, MODEL, sequential_vars={"i"}
+        )
+        red_terms = [t for t in cost.terms if "Reduction" in t.description]
+        assert red_terms
+        # m x Reduction(1, N) = m * log N * tc
+        assert sum(t.cost for t in red_terms) == M * 4 * 10
+
+
+class TestStencilShift:
+    def test_offset_neighbor_shift(self):
+        p = parse_program(
+            "PROGRAM s\nPARAM m\nARRAY U(m), W(m)\n"
+            "DO i = 2, m\nU(i) = W(i - 1)\nEND DO\nEND\n"
+        )
+        scheme = Scheme.of(ArrayPlacement("U", (1,)), ArrayPlacement("W", (1,)))
+        cost = estimate_loop_cost(p.loops()[0], scheme, (4, 1), {"m": 64}, MODEL)
+        shift_terms = [t for t in cost.terms if "Shift" in t.description]
+        assert len(shift_terms) == 1
+
+    def test_zero_offset_free(self):
+        p = parse_program(
+            "PROGRAM s\nPARAM m\nARRAY U(m), W(m)\n"
+            "DO i = 1, m\nU(i) = W(i)\nEND DO\nEND\n"
+        )
+        scheme = Scheme.of(ArrayPlacement("U", (1,)), ArrayPlacement("W", (1,)))
+        cost = estimate_loop_cost(p.loops()[0], scheme, (4, 1), {"m": 64}, MODEL)
+        assert cost.comm == 0
+
+
+class TestPinnedMulticast:
+    def test_gauss_style_broadcast_counted(self):
+        """B(k) read by owners spanning the same grid dim: per-element
+        OneToManyMulticast (the §6 naive compiler cost)."""
+        p = parse_program(
+            "PROGRAM g\nPARAM m\nARRAY B(m), L(m, m)\n"
+            "DO k = 1, m\nDO i = k + 1, m\n"
+            "L(i, k) = B(i) - B(k)\nEND DO\nEND DO\nEND\n"
+        )
+        scheme = Scheme.of(
+            ArrayPlacement("B", (1,)),
+            ArrayPlacement("L", (1, 2)),
+        )
+        cost = estimate_loop_cost(p.loops()[0], scheme, (8, 1), {"m": 64}, MODEL)
+        mc = [t for t in cost.terms if "OneToManyMulticast" in t.description]
+        assert mc
+        # 64 distinct B(k) tokens, each multicast over 8 procs (log = 3).
+        assert sum(t.cost for t in mc) == 64 * 3 * 10
+
+
+class TestUnknownArraysIgnored:
+    def test_scheme_subset(self):
+        """Arrays absent from the scheme contribute nothing (treated as
+        replicated scalars)."""
+        l1, _ = jacobi_loops()
+        scheme = Scheme.of(ArrayPlacement("A", (1, 2)), ArrayPlacement("V", (1,)))
+        cost = estimate_loop_cost(l1, scheme, (N, 1), ENV, MODEL)
+        assert cost.comp > 0

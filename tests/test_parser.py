@@ -1,0 +1,210 @@
+"""Parser tests: grammar coverage, error reporting, paper programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AffineError, ParseError
+from repro.lang.affine import Affine
+from repro.lang.ast import ArrayRef, Assign, BinOp, Call, DoLoop, Num, ScalarRef
+from repro.lang.parser import expr_to_affine, parse_program
+from repro.lang.programs import (
+    GAUSS_SOURCE,
+    JACOBI_SOURCE,
+    MATMUL_SOURCE,
+    SOR_SOURCE,
+)
+
+
+def parse_body(stmt_lines: str, decls: str = "PARAM m\nARRAY A(m, m), V(m)") -> list:
+    src = f"PROGRAM t\n{decls}\n{stmt_lines}\nEND\n"
+    return parse_program(src).body
+
+
+class TestHeaderAndDecls:
+    def test_program_name(self):
+        p = parse_program("PROGRAM demo\nEND\n")
+        assert p.name == "demo"
+
+    def test_params(self):
+        p = parse_program("PROGRAM t\nPARAM m, n\nEND\n")
+        assert p.params == ("m", "n")
+
+    def test_scalars(self):
+        p = parse_program("PROGRAM t\nSCALAR omega, tol\nEND\n")
+        assert p.scalars == ("omega", "tol")
+
+    def test_array_decl_extents(self):
+        p = parse_program("PROGRAM t\nPARAM m\nARRAY A(m, m), V(m)\nEND\n")
+        assert p.arrays["A"].rank == 2
+        assert p.arrays["A"].shape({"m": 8}) == (8, 8)
+        assert p.arrays["V"].shape({"m": 8}) == (8,)
+
+    def test_duplicate_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM t\nPARAM m\nARRAY A(m), A(m)\nEND\n")
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM t\nPARAM m\n")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("PROGRAM t\nEND\nstray\n")
+
+
+class TestStatements:
+    def test_assign_scalar_rhs(self):
+        (stmt,) = parse_body("V(1) = 0.0")
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.rhs, Num)
+
+    def test_assign_array_lhs_subscripts(self):
+        (stmt,) = parse_body("A(1, 2) = 3")
+        assert isinstance(stmt.lhs, ArrayRef)
+        assert stmt.lhs.subscripts == (Affine.constant(1), Affine.constant(2))
+
+    def test_lhs_must_be_reference(self):
+        with pytest.raises(ParseError):
+            parse_body("1 = 2")
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("A(1) = 0.0")
+
+    def test_undeclared_array_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("V(1) = W(1)")
+
+    def test_intrinsic_call(self):
+        (stmt,) = parse_body("V(1) = min(1, 2)")
+        assert isinstance(stmt.rhs, Call) and stmt.rhs.name == "min"
+
+
+class TestDoLoops:
+    def test_simple_loop(self):
+        (loop,) = parse_body("DO i = 1, m\nV(i) = 0.0\nEND DO")
+        assert isinstance(loop, DoLoop)
+        assert loop.var == "i" and loop.step == 1
+        assert loop.ub == Affine.var("m")
+
+    def test_enddo_single_token(self):
+        (loop,) = parse_body("DO i = 1, m\nV(i) = 0.0\nENDDO")
+        assert isinstance(loop, DoLoop)
+
+    def test_negative_step(self):
+        (loop,) = parse_body("DO i = m, 1, -1\nV(i) = 0.0\nEND DO")
+        assert loop.step == -1
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("DO i = 1, m, 0\nV(i) = 0.0\nEND DO")
+
+    def test_symbolic_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("DO i = 1, m, m\nV(i) = 0.0\nEND DO")
+
+    def test_affine_bounds(self):
+        (loop,) = parse_body("DO i = k + 1, m - 1\nV(i) = 0.0\nEND DO")
+        assert loop.lb == Affine.var("k") + 1
+        assert loop.ub == Affine.var("m") - 1
+
+    def test_nesting(self):
+        (outer,) = parse_body("DO i = 1, m\nDO j = 1, m\nA(i, j) = 0.0\nEND DO\nEND DO")
+        assert isinstance(outer.body[0], DoLoop)
+
+    def test_trip_count(self):
+        (loop,) = parse_body("DO i = 3, m\nV(i) = 0.0\nEND DO")
+        assert loop.trip_count({"m": 10}) == 8
+        assert loop.trip_count({"m": 2}) == 0
+
+    def test_trip_count_negative_step(self):
+        (loop,) = parse_body("DO i = m, 1, -2\nV(i) = 0.0\nEND DO")
+        assert loop.trip_count({"m": 9}) == 5
+
+    def test_iter_values_descending(self):
+        (loop,) = parse_body("DO i = m, 1, -1\nV(i) = 0.0\nEND DO")
+        assert list(loop.iter_values({"m": 3})) == [3, 2, 1]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        (stmt,) = parse_body("V(1) = 1 + 2 * 3")
+        assert isinstance(stmt.rhs, BinOp) and stmt.rhs.op == "+"
+
+    def test_parentheses(self):
+        (stmt,) = parse_body("V(1) = (1 + 2) * 3")
+        assert stmt.rhs.op == "*"
+
+    def test_unary_minus(self):
+        (stmt,) = parse_body("V(1) = -V(1)")
+        assert stmt.rhs.op == "-"
+
+    def test_unary_plus_absorbed(self):
+        (stmt,) = parse_body("V(1) = +3")
+        assert isinstance(stmt.rhs, Num)
+
+    def test_division_left_assoc(self):
+        (stmt,) = parse_body("V(1) = 8 / 4 / 2")
+        # (8/4)/2
+        assert stmt.rhs.op == "/" and stmt.rhs.left.op == "/"
+
+    def test_scalar_ref(self):
+        (stmt,) = parse_body("V(1) = omega", decls="PARAM m\nSCALAR omega\nARRAY V(m)")
+        assert isinstance(stmt.rhs, ScalarRef)
+
+
+class TestAffineSubscripts:
+    def test_subscript_with_offset(self):
+        (stmt,) = parse_body("V(i + 1) = 0.0")
+        assert stmt.lhs.subscripts[0] == Affine.var("i") + 1
+
+    def test_nonaffine_subscript_rejected(self):
+        with pytest.raises(AffineError):
+            parse_body("A(i * j, 1) = 0.0")
+
+    def test_division_in_subscript_rejected(self):
+        with pytest.raises(AffineError):
+            parse_body("V(i / 2) = 0.0")
+
+    def test_scaled_subscript_allowed(self):
+        (stmt,) = parse_body("V(2 * i - 1) = 0.0")
+        assert stmt.lhs.subscripts[0] == Affine.var("i") * 2 - 1
+
+    def test_expr_to_affine_float_integer_ok(self):
+        assert expr_to_affine(Num(3.0)) == Affine.constant(3)
+
+    def test_expr_to_affine_float_fraction_rejected(self):
+        with pytest.raises(AffineError):
+            expr_to_affine(Num(2.5))
+
+
+class TestPaperPrograms:
+    @pytest.mark.parametrize(
+        "source,name,arrays",
+        [
+            (JACOBI_SOURCE, "jacobi", {"A", "V", "B", "X"}),
+            (SOR_SOURCE, "sor", {"A", "V", "B", "X"}),
+            (GAUSS_SOURCE, "gauss", {"A", "L", "B", "V", "X"}),
+            (MATMUL_SOURCE, "matmul", {"A", "B", "C"}),
+        ],
+    )
+    def test_parses(self, source, name, arrays):
+        p = parse_program(source)
+        assert p.name == name
+        assert set(p.arrays) == arrays
+
+    def test_jacobi_structure(self):
+        p = parse_program(JACOBI_SOURCE)
+        outer = p.loops()[0]
+        inner = [s for s in outer.body if isinstance(s, DoLoop)]
+        assert len(inner) == 2
+
+    def test_gauss_three_top_loops(self):
+        p = parse_program(GAUSS_SOURCE)
+        assert len(p.loops()) == 3
+
+    def test_gauss_back_substitution_descending(self):
+        p = parse_program(GAUSS_SOURCE)
+        back = p.loops()[2]
+        assert back.step == -1

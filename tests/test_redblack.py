@@ -1,0 +1,76 @@
+"""Red-black SOR: the reordering alternative to §5's pipelining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.kernels.redblack import redblack_sor, redblack_sor_seq
+from repro.machine import MachineModel, Ring, run_spmd
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def pulse(mp2: int) -> np.ndarray:
+    f = np.zeros((mp2, mp2))
+    c = mp2 // 2
+    f[c - 2 : c + 2, c - 2 : c + 2] = 1.0
+    return f
+
+
+class TestSequential:
+    def test_solves_poisson(self):
+        mp2 = 18
+        f = pulse(mp2)
+        u = redblack_sor_seq(f, 1.5, 200)
+        h2 = 1.0 / (mp2 - 1) ** 2
+        lap = -(
+            np.roll(u, 1, 0) + np.roll(u, -1, 0) + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+            - 4 * u
+        )[1:-1, 1:-1]
+        np.testing.assert_allclose(lap, h2 * f[1:-1, 1:-1], atol=1e-8)
+
+    def test_boundary_stays_zero(self):
+        u = redblack_sor_seq(pulse(10), 1.2, 20)
+        assert (u[0, :] == 0).all() and (u[:, -1] == 0).all()
+
+    def test_more_sweeps_reduce_error(self):
+        mp2 = 14
+        f = pulse(mp2)
+        u_exact = redblack_sor_seq(f, 1.5, 500)
+        e10 = np.max(np.abs(redblack_sor_seq(f, 1.5, 10) - u_exact))
+        e40 = np.max(np.abs(redblack_sor_seq(f, 1.5, 40) - u_exact))
+        assert e40 < e10
+
+
+class TestParallel:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+    def test_bitwise_matches_sequential(self, nprocs):
+        mp2 = 18
+        f = pulse(mp2)
+        ref = redblack_sor_seq(f, 1.5, 25)
+        res = run_spmd(redblack_sor, Ring(nprocs), MODEL, args=(f, 1.5, 25))
+        for rank in range(nprocs):
+            np.testing.assert_array_equal(res.value(rank), ref)
+
+    def test_divisibility_required(self):
+        with pytest.raises(MachineError):
+            run_spmd(redblack_sor, Ring(5), MODEL, args=(pulse(18), 1.5, 1))
+
+    def test_halo_traffic_per_sweep(self):
+        """Each half-sweep moves one row per interior neighbor pair, both
+        directions: 2 * 2 * (N-1) rows per full sweep."""
+        mp2, n, sweeps = 18, 4, 3
+        res = run_spmd(redblack_sor, Ring(n), MODEL, args=(pulse(mp2), 1.5, sweeps))
+        halo_msgs = sweeps * 2 * 2 * (n - 1)
+        gather_msgs = n * (n - 1)  # final ring allgather
+        assert res.message_count == halo_msgs + gather_msgs
+
+    def test_scales_when_compute_bound(self):
+        mp2 = 66  # 64 interior rows
+        f = pulse(mp2)
+        cheap_comm = MachineModel(tf=1, tc=0.1)
+        t1 = run_spmd(redblack_sor, Ring(1), cheap_comm, args=(f, 1.5, 4)).makespan
+        t8 = run_spmd(redblack_sor, Ring(8), cheap_comm, args=(f, 1.5, 4)).makespan
+        assert t8 < t1 / 3

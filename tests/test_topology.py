@@ -1,0 +1,172 @@
+"""Topology tests: rank arithmetic, hop metrics, Gray-code embedding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine.topology import (
+    Grid2D,
+    Hypercube,
+    Linear,
+    Ring,
+    gray_code,
+    inverse_gray_code,
+)
+
+
+class TestLinear:
+    def test_size(self):
+        assert Linear(5).size == 5
+
+    def test_hops(self):
+        assert Linear(5).hops(0, 4) == 4
+
+    def test_neighbors_interior(self):
+        assert Linear(5).neighbors(2) == (1, 3)
+
+    def test_neighbors_ends(self):
+        t = Linear(5)
+        assert t.neighbors(0) == (1,)
+        assert t.neighbors(4) == (3,)
+
+    def test_invalid_size(self):
+        with pytest.raises(TopologyError):
+            Linear(0)
+
+    def test_rank_check(self):
+        with pytest.raises(TopologyError):
+            Linear(3).hops(0, 3)
+
+
+class TestRing:
+    def test_wraparound_hops(self):
+        assert Ring(6).hops(0, 5) == 1
+        assert Ring(6).hops(0, 3) == 3
+
+    def test_neighbors(self):
+        assert set(Ring(5).neighbors(0)) == {1, 4}
+
+    def test_two_node_ring_single_neighbor(self):
+        assert Ring(2).neighbors(0) == (1,)
+
+    def test_singleton(self):
+        assert Ring(1).neighbors(0) == ()
+
+    def test_left_right(self):
+        r = Ring(4)
+        assert r.right(3) == 0 and r.left(0) == 3
+
+    @given(st.integers(2, 32), st.integers(0, 31), st.integers(0, 31))
+    def test_hops_symmetric(self, n, a, b):
+        a %= n
+        b %= n
+        assert Ring(n).hops(a, b) == Ring(n).hops(b, a)
+
+
+class TestGrid2D:
+    def test_coords_roundtrip(self):
+        g = Grid2D(3, 4)
+        for r in range(g.size):
+            p1, p2 = g.coords(r)
+            assert g.rank_of(p1, p2) == r
+
+    def test_rank_of_bounds(self):
+        with pytest.raises(TopologyError):
+            Grid2D(2, 2).rank_of(2, 0)
+
+    def test_torus_hops(self):
+        g = Grid2D(4, 4)
+        assert g.hops(g.rank_of(0, 0), g.rank_of(3, 3)) == 2  # wrap both ways
+
+    def test_mesh_hops(self):
+        g = Grid2D(4, 4, torus=False)
+        assert g.hops(g.rank_of(0, 0), g.rank_of(3, 3)) == 6
+
+    def test_neighbors_count_torus(self):
+        g = Grid2D(3, 3)
+        assert len(g.neighbors(4)) == 4
+
+    def test_neighbors_corner_mesh(self):
+        g = Grid2D(3, 3, torus=False)
+        assert len(g.neighbors(0)) == 2
+
+    def test_row_and_col_ranks(self):
+        g = Grid2D(2, 3)
+        assert g.row_ranks(1) == (3, 4, 5)
+        assert g.col_ranks(2) == (2, 5)
+
+    def test_dim_group(self):
+        g = Grid2D(2, 3)
+        assert g.dim_group(4, 2) == g.row_ranks(1)  # vary p2
+        assert g.dim_group(4, 1) == g.col_ranks(1)  # vary p1
+
+    def test_dim_group_invalid(self):
+        with pytest.raises(TopologyError):
+            Grid2D(2, 2).dim_group(0, 3)
+
+    def test_shift_along(self):
+        g = Grid2D(2, 3)
+        assert g.shift_along(g.rank_of(0, 2), 2, 1) == g.rank_of(0, 0)
+        assert g.shift_along(g.rank_of(1, 0), 1, 1) == g.rank_of(0, 0)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_every_rank_in_exactly_one_row_group(self, n1, n2):
+        g = Grid2D(n1, n2)
+        seen = [r for p1 in range(n1) for r in g.row_ranks(p1)]
+        assert sorted(seen) == list(range(g.size))
+
+
+class TestHypercube:
+    def test_size(self):
+        assert Hypercube(4).size == 16
+
+    def test_hops_is_hamming(self):
+        h = Hypercube(4)
+        assert h.hops(0b0000, 0b1011) == 3
+
+    def test_neighbors(self):
+        h = Hypercube(3)
+        assert sorted(h.neighbors(0)) == [1, 2, 4]
+
+    def test_dim_zero(self):
+        h = Hypercube(0)
+        assert h.size == 1 and h.neighbors(0) == ()
+
+    @given(st.integers(1, 6), st.data())
+    def test_neighbors_at_distance_one(self, dim, data):
+        h = Hypercube(dim)
+        rank = data.draw(st.integers(0, h.size - 1))
+        for nb in h.neighbors(rank):
+            assert h.hops(rank, nb) == 1
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(0, 10_000))
+    def test_inverse(self, i):
+        assert inverse_gray_code(gray_code(i)) == i
+
+    @given(st.integers(0, 10_000))
+    def test_consecutive_codes_differ_by_one_bit(self, i):
+        assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            gray_code(-1)
+
+    def test_ring_embedding_neighbors(self):
+        """The paper §2: a ring embeds into the hypercube via Gray code."""
+        h = Hypercube(3)
+        for i in range(h.size):
+            a = h.embed_ring_rank(i)
+            b = h.embed_ring_rank((i + 1) % h.size)
+            assert h.hops(a, b) == 1
+
+    def test_embed_out_of_range(self):
+        with pytest.raises(TopologyError):
+            Hypercube(2).embed_ring_rank(4)

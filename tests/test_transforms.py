@@ -1,0 +1,215 @@
+"""Loop-transformation tests: interchange, distribution, strip mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DependenceError
+from repro.lang import matmul_program, parse_program
+from repro.lang.affine import Affine
+from repro.lang.analysis import iteration_count
+from repro.lang.ast import DoLoop
+from repro.lang.transforms import (
+    can_distribute,
+    can_interchange,
+    distribute,
+    interchange,
+    specialize,
+    strip_mine,
+)
+
+
+def loop_of(src: str) -> DoLoop:
+    return parse_program(src).loops()[0]
+
+
+ELEMENTWISE = (
+    "PROGRAM t\nPARAM m\nARRAY A(m, m), B(m, m)\n"
+    "DO i = 1, m\nDO j = 1, m\nA(i, j) = B(i, j)\nEND DO\nEND DO\nEND\n"
+)
+
+ANTI_DIAGONAL = (
+    "PROGRAM t\nPARAM m\nARRAY A(m, m)\n"
+    "DO i = 2, m\nDO j = 1, m - 1\nA(i, j) = A(i - 1, j + 1)\nEND DO\nEND DO\nEND\n"
+)
+
+TRIANGULAR = (
+    "PROGRAM t\nPARAM m\nARRAY A(m, m)\n"
+    "DO i = 1, m\nDO j = i, m\nA(i, j) = 0.0\nEND DO\nEND DO\nEND\n"
+)
+
+
+class TestInterchange:
+    def test_elementwise_legal(self):
+        outer = loop_of(ELEMENTWISE)
+        assert can_interchange(outer)
+        swapped = interchange(outer)
+        assert swapped.var == "j"
+        assert isinstance(swapped.body[0], DoLoop)
+        assert swapped.body[0].var == "i"
+
+    def test_bounds_preserved(self):
+        swapped = interchange(loop_of(ELEMENTWISE))
+        inner = swapped.body[0]
+        assert swapped.ub == Affine.var("m")
+        assert inner.ub == Affine.var("m")
+
+    def test_anti_diagonal_illegal(self):
+        """Dependence (1, -1): direction (<, >) forbids interchange."""
+        outer = loop_of(ANTI_DIAGONAL)
+        assert not can_interchange(outer)
+        with pytest.raises(DependenceError):
+            interchange(outer)
+
+    def test_triangular_bounds_illegal(self):
+        assert not can_interchange(loop_of(TRIANGULAR))
+
+    def test_imperfect_nest_rejected(self):
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY A(m, m), V(m)\n"
+            "DO i = 1, m\nV(i) = 0.0\nDO j = 1, m\nA(i, j) = 0.0\nEND DO\nEND DO\nEND\n"
+        )
+        assert not can_interchange(loop_of(src))
+
+    def test_diagonal_carried_legal(self):
+        """Dependence (1, 1) has direction (<, <): interchange fine."""
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY A(m, m)\n"
+            "DO i = 2, m\nDO j = 2, m\nA(i, j) = A(i - 1, j - 1)\nEND DO\nEND DO\nEND\n"
+        )
+        assert can_interchange(loop_of(src))
+
+    def test_matmul_interchange_legal(self):
+        """The classic ijk -> jik swap on A = B*C (reduction on k only)."""
+        outer = matmul_program().loops()[0]
+        assert can_interchange(outer)
+
+    def test_original_not_mutated(self):
+        outer = loop_of(ELEMENTWISE)
+        interchange(outer)
+        assert outer.var == "i" and outer.body[0].var == "j"
+
+
+class TestDistribute:
+    def test_independent_statements_legal(self):
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY U(m), V(m), W(m)\n"
+            "DO i = 1, m\nU(i) = 0.0\nV(i) = W(i)\nEND DO\nEND\n"
+        )
+        loop = loop_of(src)
+        assert can_distribute(loop)
+        parts = distribute(loop)
+        assert len(parts) == 2
+        assert all(p.var == "i" and len(p.body) == 1 for p in parts)
+
+    def test_forward_carried_dep_legal(self):
+        """s1 writes U(i), s2 reads U(i-1): dep flows forward in text —
+        after fission all of s1 still precedes the reads."""
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY U(m), V(m)\n"
+            "DO i = 2, m\nU(i) = 0.0\nV(i) = U(i - 1)\nEND DO\nEND\n"
+        )
+        assert can_distribute(loop_of(src))
+
+    def test_backward_carried_dep_illegal(self):
+        """s1 reads U(i-1) written by the later s2: fission reverses it."""
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY U(m), V(m)\n"
+            "DO i = 2, m\nV(i) = U(i - 1)\nU(i) = 0.0\nEND DO\nEND\n"
+        )
+        loop = loop_of(src)
+        assert not can_distribute(loop)
+        with pytest.raises(DependenceError):
+            distribute(loop)
+
+    def test_loop_independent_dep_ok(self):
+        """Same-iteration flow (s1 defines U(i), s2 uses U(i)) survives
+        fission (every instance of s1 before s2 is still true)."""
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY U(m), V(m)\n"
+            "DO i = 1, m\nU(i) = 1\nV(i) = U(i)\nEND DO\nEND\n"
+        )
+        assert can_distribute(loop_of(src))
+
+    def test_distribution_preserves_iterations(self):
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY U(m), V(m)\n"
+            "DO i = 1, m\nU(i) = 0.0\nV(i) = 1\nEND DO\nEND\n"
+        )
+        loop = loop_of(src)
+        env = {"m": 10}
+        before = iteration_count(loop, env)
+        after = sum(iteration_count(p, env) for p in distribute(loop))
+        assert before == after
+
+
+class TestStripMine:
+    def make_loop(self, lo=1, hi=16):
+        src = (
+            f"PROGRAM t\nPARAM m\nARRAY U(m)\n"
+            f"DO i = {lo}, {hi}\nU(i) = 0.0\nEND DO\nEND\n"
+        )
+        return loop_of(src)
+
+    def test_basic(self):
+        mined = strip_mine(self.make_loop(), 4)
+        assert mined.var == "i_strip" and mined.step == 4
+        inner = mined.body[0]
+        assert isinstance(inner, DoLoop) and inner.var == "i"
+        assert inner.ub == Affine.var("i_strip") + 3
+
+    def test_iteration_count_preserved(self):
+        loop = self.make_loop(1, 16)
+        mined = strip_mine(loop, 4)
+        env = {"m": 16}
+        assert iteration_count(mined, env) == iteration_count(loop, env)
+
+    def test_iteration_values_preserved(self):
+        loop = self.make_loop(1, 12)
+        mined = strip_mine(loop, 3)
+        visited = []
+        for s in mined.iter_values({}):
+            for i in mined.body[0].iter_values({"i_strip": s}):
+                visited.append(i)
+        assert visited == list(range(1, 13))
+
+    def test_nondivisible_rejected(self):
+        with pytest.raises(DependenceError):
+            strip_mine(self.make_loop(1, 10), 4)
+
+    def test_symbolic_bounds_rejected(self):
+        src = "PROGRAM t\nPARAM m\nARRAY U(m)\nDO i = 1, m\nU(i) = 0.0\nEND DO\nEND\n"
+        with pytest.raises(DependenceError):
+            strip_mine(loop_of(src), 4)
+
+    def test_specialize_then_mine(self):
+        src = "PROGRAM t\nPARAM m\nARRAY U(m)\nDO i = 1, m\nU(i) = 0.0\nEND DO\nEND\n"
+        loop = specialize(loop_of(src), {"m": 32})
+        mined = strip_mine(loop, 8)
+        assert iteration_count(mined, {}) == 32
+
+    def test_custom_strip_var(self):
+        mined = strip_mine(self.make_loop(), 4, strip_var="ss")
+        assert mined.var == "ss"
+
+    def test_bad_block(self):
+        with pytest.raises(DependenceError):
+            strip_mine(self.make_loop(), 0)
+
+    def test_nonunit_step_rejected(self):
+        src = "PROGRAM t\nPARAM m\nARRAY U(m)\nDO i = 16, 1, -1\nU(i) = 0.0\nEND DO\nEND\n"
+        with pytest.raises(DependenceError):
+            strip_mine(loop_of(src), 4)
+
+
+class TestSpecialize:
+    def test_substitutes_everywhere(self):
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY A(m, m)\n"
+            "DO i = 1, m\nDO j = i, m - 1\nA(i, j) = 0.0\nEND DO\nEND DO\nEND\n"
+        )
+        loop = specialize(loop_of(src), {"m": 9})
+        assert loop.ub == Affine.constant(9)
+        inner = loop.body[0]
+        assert inner.ub == Affine.constant(8)
+        assert inner.lb == Affine.var("i")  # loop vars untouched

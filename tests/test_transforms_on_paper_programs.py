@@ -1,0 +1,77 @@
+"""Loop transformations applied to the paper's own programs.
+
+The most interesting case: *fissioning SOR's fused i-loop would turn it
+into Jacobi* (X updates deferred until after all V sums) — a semantics
+change, and the dependence test correctly forbids it; Jacobi's separate
+loops are exactly the post-fission shape and its accumulation loop pair
+interchanges legally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DependenceError
+from repro.lang import gauss_program, jacobi_program, sor_program
+from repro.lang.ast import DoLoop
+from repro.lang.transforms import (
+    can_distribute,
+    can_interchange,
+    distribute,
+    interchange,
+)
+
+
+class TestSorFissionIllegal:
+    def test_sor_body_loop_not_distributable(self):
+        """Splitting the SOR sweep would compute every V before any X
+        update — i.e. silently turn SOR into Jacobi.  The backward
+        loop-carried dependence (X written by the update, read by earlier
+        statements of later iterations) forbids it."""
+        outer = sor_program().loops()[0]
+        (iloop,) = [s for s in outer.body if isinstance(s, DoLoop)]
+        assert not can_distribute(iloop)
+        with pytest.raises(DependenceError):
+            distribute(iloop)
+
+
+class TestJacobiTransforms:
+    def test_jacobi_outer_body_is_post_fission_shape(self):
+        """Jacobi's k-body (two separate loops) is what legal fission of
+        a combined sweep would produce; distributing the *k* loop itself
+        is illegal (X flows across iterations)."""
+        outer = jacobi_program().loops()[0]
+        assert not can_distribute(outer)
+
+    def test_matvec_nest_interchange(self):
+        """The i/j accumulation nest of Jacobi interchanges legally after
+        peeling the V-initialization (reduction order is commutative)."""
+        from repro.lang import parse_program
+
+        src = (
+            "PROGRAM t\nPARAM m\nARRAY A(m, m), V(m), X(m)\n"
+            "DO i = 1, m\nDO j = 1, m\n"
+            "V(i) = V(i) + A(i, j) * X(j)\nEND DO\nEND DO\nEND\n"
+        )
+        nest = parse_program(src).loops()[0]
+        assert can_interchange(nest)
+        swapped = interchange(nest)
+        assert swapped.var == "j"
+
+
+class TestGaussTransforms:
+    def test_triangularization_not_interchangeable(self):
+        """The k/i nest of Gauss has triangular bounds (i starts at k+1):
+        interchange would change the iteration domain."""
+        tri = gauss_program().loops()[0]
+        assert not can_interchange(tri)
+
+    def test_elimination_i_loop_distribution(self):
+        """Within one pivot step the i-loop body (L, B, A updates) has
+        only forward same-iteration dependences — distributable."""
+        tri = gauss_program().loops()[0]
+        iloop = tri.body[0]
+        assert isinstance(iloop, DoLoop)
+        assert can_distribute(iloop)
+        parts = distribute(iloop)
+        assert len(parts) == 3
