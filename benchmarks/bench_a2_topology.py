@@ -49,6 +49,9 @@ def sor_on_embedded_cube(p, A, b, x0, omega, iterations, use_gray: bool):
         def _phys(self, ring_rank):
             return gray_code(ring_rank) if use_gray else ring_rank
 
+        def scoped(self, label):
+            return self._p.scoped(label)
+
         def compute(self, flops, label=""):
             self._p.compute(flops, label=label)
 

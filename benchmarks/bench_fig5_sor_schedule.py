@@ -13,7 +13,13 @@ import numpy as np
 
 from repro.costmodel import sor_pipelined_time
 from repro.kernels import make_spd_system, sor_pipelined
-from repro.machine import MachineModel, Ring, run_spmd
+from repro.machine import (
+    MachineModel,
+    Ring,
+    critical_path,
+    run_spmd,
+    write_chrome_trace,
+)
 from repro.pipeline.sor_schedule import (
     render_schedule,
     schedule_properties,
@@ -33,7 +39,7 @@ def build():
     return res, cells
 
 
-def test_fig5_sor_pipeline_schedule(benchmark, emit):
+def test_fig5_sor_pipeline_schedule(benchmark, emit, artifact_dir):
     res, cells = benchmark(build)
     emit(
         "fig5_sor_schedule",
@@ -41,6 +47,15 @@ def test_fig5_sor_pipeline_schedule(benchmark, emit):
         f"(makespan {res.makespan:g})\n"
         + render_schedule(cells, N),
     )
+
+    # Observability layer: the same run exported as a Perfetto-loadable
+    # Chrome trace, and the critical path must account for the makespan.
+    write_chrome_trace(
+        artifact_dir / "fig5_sor_chrome_trace.json", res.trace, process_name="sor"
+    )
+    cp = critical_path(res.trace)
+    assert abs(cp.length - res.makespan) < 1e-6
+    assert min(cp.slack) >= 0.0
 
     props = schedule_properties(cells, M, N)
     assert props["every_x_once"]

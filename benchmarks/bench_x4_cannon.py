@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.kernels import cannon_matmul
 from repro.kernels.cannon import assemble_blocks
-from repro.machine import Grid2D, MachineModel, run_spmd
+from repro.machine import Grid2D, MachineModel, critical_path, run_spmd
 from repro.util.tables import Table
 
 MODEL = MachineModel(tf=1, tc=10)
@@ -27,10 +27,14 @@ def sweep():
         n = q * nb
         B = rng.random((n, n))
         C = rng.random((n, n))
-        res = run_spmd(cannon_matmul, Grid2D(q, q), MODEL, args=(B, C, q))
+        res = run_spmd(cannon_matmul, Grid2D(q, q), MODEL, args=(B, C, q), trace=True)
         got = assemble_blocks(res.values, q)
         err = float(np.max(np.abs(got - B @ C)))
-        rows.append((n, q, res.makespan, res.message_count, res.message_words, err))
+        cp = critical_path(res.trace)
+        rows.append(
+            (n, q, res.makespan, res.message_count, res.message_words, err,
+             res.metrics, cp)
+        )
     return rows
 
 
@@ -40,16 +44,25 @@ def test_x4_cannon_matmul(benchmark, emit):
         ["n", "grid", "makespan", "messages", "words", "max|err|"],
         title="X4 — Cannon matmul on rotated layouts (block 16x16 per proc)",
     )
-    for n, q, t, msgs, words, err in rows:
+    for n, q, t, msgs, words, err, metrics, cp in rows:
         table.add_row([n, f"{q}x{q}", f"{t:g}", msgs, words, f"{err:.2e}"])
     emit("x4_cannon", table.render())
 
-    for n, q, t, msgs, words, err in rows:
+    for n, q, t, msgs, words, err, metrics, cp in rows:
         assert err < 1e-9
         # Exactly 2 shifts per round, (q-1) rounds, q^2 processors each.
         assert msgs == (q - 1) * 2 * q * q
         # Every shifted block is 16x16 = 256 words.
         assert words == msgs * 256
+        # Observability layer: the metrics registry sees the same traffic,
+        # all of it attributed to the cannon/shift collective scope...
+        assert metrics.message_count == msgs
+        assert metrics.message_words == words
+        if q > 1:
+            shifts = metrics.by_collective["cannon/shift"]
+            assert shifts.messages == msgs and shifts.words == words
+        # ...and the reconstructed critical path accounts for the makespan.
+        assert abs(cp.length - t) < 1e-6
 
     # Weak scaling: per-proc compute is q * (2 nb^3); the q=4 run does 4x
     # the per-proc flops of q=1 plus shift overhead — makespan grows

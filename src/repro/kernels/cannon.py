@@ -50,14 +50,15 @@ def cannon_matmul(
     row_group = tuple(p1 * q + c for c in range(q))
     col_group = tuple(r * q + p2 for r in range(q))
 
-    for step in range(q):
-        A_loc += B_loc @ C_loc
-        p.compute(2 * nb * nb * nb, label=f"block gemm step {step + 1}")
-        if q > 1 and step < q - 1:
-            # Shift B one position left along the grid row, C one position
-            # up along the grid column (paper Shift primitive).
-            B_loc = yield from shift(p, B_loc, row_group, delta=-1, tag=80)
-            C_loc = yield from shift(p, C_loc, col_group, delta=-1, tag=81)
+    with p.scoped("cannon"):
+        for step in range(q):
+            A_loc += B_loc @ C_loc
+            p.compute(2 * nb * nb * nb, label=f"block gemm step {step + 1}")
+            if q > 1 and step < q - 1:
+                # Shift B one position left along the grid row, C one position
+                # up along the grid column (paper Shift primitive).
+                B_loc = yield from shift(p, B_loc, row_group, delta=-1, tag=80)
+                C_loc = yield from shift(p, C_loc, col_group, delta=-1, tag=81)
     return A_loc
 
 

@@ -112,40 +112,41 @@ def sor_pipelined(
                 p.compute(2 * block + 4, label=f"row {ii + 1}")
                 x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
             continue
-        # Phase 1 (Fig 6 lines 7-15): rows owned by earlier processors.
-        # Their partials arrive from the left; my X block is still old,
-        # which is exactly what rows i < before need from columns j > i.
-        for i in range(before):
-            temp = float(A_loc[i, :] @ x_loc)
-            p.compute(2 * block, label=f"row {i + 1} partial")
-            v = yield from p.recv(left, tag=60)
-            v += temp
-            p.send(right, v, tag=60)
-        # Phase 2 (lines 16-23): start my own rows with columns j >= i.
-        for ii in range(block):
-            cur = before + ii
-            v_start = float(A_loc[cur, ii:] @ x_loc[ii:])
-            p.compute(2 * (block - ii), label=f"row {cur + 1} start")
-            p.send(right, v_start, tag=60)
-        # Phase 3 (lines 24-34): my rows come back around the ring;
-        # add contributions of already-updated in-block predecessors,
-        # then update X.
-        for ii in range(block):
-            cur = before + ii
-            temp = float(A_loc[cur, :ii] @ x_loc[:ii])
-            p.compute(2 * ii, label=f"row {cur + 1} finish")
-            v = yield from p.recv(left, tag=60)
-            v += temp
-            x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
-            p.compute(4, label=f"X({cur + 1})")
-        # Phase 4 (lines 35-43): rows owned by later processors; my X
-        # block is now new, which rows i > before+block need (j < i).
-        for i in range(before + block, m):
-            temp = float(A_loc[i, :] @ x_loc)
-            p.compute(2 * block, label=f"row {i + 1} partial")
-            v = yield from p.recv(left, tag=60)
-            v += temp
-            p.send(right, v, tag=60)
+        with p.scoped("sor-pipeline"):
+            # Phase 1 (Fig 6 lines 7-15): rows owned by earlier processors.
+            # Their partials arrive from the left; my X block is still old,
+            # which is exactly what rows i < before need from columns j > i.
+            for i in range(before):
+                temp = float(A_loc[i, :] @ x_loc)
+                p.compute(2 * block, label=f"row {i + 1} partial")
+                v = yield from p.recv(left, tag=60)
+                v += temp
+                p.send(right, v, tag=60)
+            # Phase 2 (lines 16-23): start my own rows with columns j >= i.
+            for ii in range(block):
+                cur = before + ii
+                v_start = float(A_loc[cur, ii:] @ x_loc[ii:])
+                p.compute(2 * (block - ii), label=f"row {cur + 1} start")
+                p.send(right, v_start, tag=60)
+            # Phase 3 (lines 24-34): my rows come back around the ring;
+            # add contributions of already-updated in-block predecessors,
+            # then update X.
+            for ii in range(block):
+                cur = before + ii
+                temp = float(A_loc[cur, :ii] @ x_loc[:ii])
+                p.compute(2 * ii, label=f"row {cur + 1} finish")
+                v = yield from p.recv(left, tag=60)
+                v += temp
+                x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
+                p.compute(4, label=f"X({cur + 1})")
+            # Phase 4 (lines 35-43): rows owned by later processors; my X
+            # block is now new, which rows i > before+block need (j < i).
+            for i in range(before + block, m):
+                temp = float(A_loc[i, :] @ x_loc)
+                p.compute(2 * block, label=f"row {i + 1} partial")
+                v = yield from p.recv(left, tag=60)
+                v += temp
+                p.send(right, v, tag=60)
 
     group = tuple(range(n))
     blocks = yield from allgather(p, x_loc, group)

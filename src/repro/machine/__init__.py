@@ -19,7 +19,14 @@ from repro.machine.collectives import (
     scatter,
     shift,
 )
+from repro.machine.critpath import CriticalPathReport, PathStep, critical_path
 from repro.machine.engine import Engine, Proc, RunResult, run_spmd
+from repro.machine.export import (
+    chrome_trace_json,
+    match_messages,
+    write_chrome_trace,
+)
+from repro.machine.metrics import GroupStats, Metrics, RankMetrics
 from repro.machine.threaded import ThreadedEngine, run_spmd_threaded
 from repro.machine.model import MachineModel
 from repro.machine.topology import (
@@ -37,6 +44,15 @@ __all__ = [
     "Proc",
     "RunResult",
     "run_spmd",
+    "Metrics",
+    "RankMetrics",
+    "GroupStats",
+    "critical_path",
+    "CriticalPathReport",
+    "PathStep",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "match_messages",
     "ThreadedEngine",
     "run_spmd_threaded",
     "MachineModel",

@@ -49,6 +49,20 @@ def _group_index(p: Proc, group: Sequence[int]) -> int:
         return idx[0]
 
 
+def _root_index(group: Sequence[int], root: int) -> int:
+    """Position of *root* in *group*, as a :class:`CommunicationError`.
+
+    ``group.index(root)`` would raise a bare ``ValueError`` that escapes
+    the machine-error hierarchy; rooted collectives use this instead.
+    """
+    for i, r in enumerate(group):
+        if r == root:
+            return i
+    raise CommunicationError(
+        f"root {root} is not a member of collective group {tuple(group)}"
+    )
+
+
 def _combine(a: Any, b: Any, op: Callable[[Any, Any], Any] | None, p: Proc) -> Any:
     """Merge two partial values, charging one flop per element."""
     if op is not None:
@@ -74,22 +88,23 @@ def bcast(
     Returns the broadcast value on every member.
     """
     n = len(group)
+    me = _group_index(p, group)
+    root_idx = _root_index(group, root)
     if n <= 1:
         return data
-    me = _group_index(p, group)
-    root_idx = group.index(root)
     rel = (me - root_idx) % n
     value = data if p.rank == root else None
-    k = 1
-    while k < n:
-        if rel < k:
-            peer_rel = rel + k
-            if peer_rel < n:
-                p.send(group[(peer_rel + root_idx) % n], value, tag=tag)
-        elif rel < 2 * k:
-            src_rel = rel - k
-            value = yield from p.recv(group[(src_rel + root_idx) % n], tag=tag)
-        k *= 2
+    with p.scoped("bcast"):
+        k = 1
+        while k < n:
+            if rel < k:
+                peer_rel = rel + k
+                if peer_rel < n:
+                    p.send(group[(peer_rel + root_idx) % n], value, tag=tag)
+            elif rel < 2 * k:
+                src_rel = rel - k
+                value = yield from p.recv(group[(src_rel + root_idx) % n], tag=tag)
+            k *= 2
     return value
 
 
@@ -108,23 +123,24 @@ def reduce(
     Non-root members return ``None``.
     """
     n = len(group)
+    me = _group_index(p, group)
+    root_idx = _root_index(group, root)
     if n <= 1:
         return value
-    me = _group_index(p, group)
-    root_idx = group.index(root)
     rel = (me - root_idx) % n
     acc = value
-    k = 1
-    while k < n:
-        if rel % (2 * k) == 0:
-            peer_rel = rel + k
-            if peer_rel < n:
-                other = yield from p.recv(group[(peer_rel + root_idx) % n], tag=tag)
-                acc = _combine(acc, other, op, p)
-        elif rel % (2 * k) == k:
-            p.send(group[(rel - k + root_idx) % n], acc, tag=tag)
-            return None
-        k *= 2
+    with p.scoped("reduce"):
+        k = 1
+        while k < n:
+            if rel % (2 * k) == 0:
+                peer_rel = rel + k
+                if peer_rel < n:
+                    other = yield from p.recv(group[(peer_rel + root_idx) % n], tag=tag)
+                    acc = _combine(acc, other, op, p)
+            elif rel % (2 * k) == k:
+                p.send(group[(rel - k + root_idx) % n], acc, tag=tag)
+                return None
+            k *= 2
     return acc if p.rank == root else None
 
 
@@ -137,11 +153,13 @@ def allreduce(
 ) -> Generator[Any, None, Any]:
     """Reduce to the group's first rank, then broadcast the result."""
     n = len(group)
+    _group_index(p, group)
     if n <= 1:
         return value
     root = group[0]
-    partial = yield from reduce(p, value, root, group, op=op, tag=tag)
-    result = yield from bcast(p, partial, root, group, tag=tag + 1)
+    with p.scoped("allreduce"):
+        partial = yield from reduce(p, value, root, group, op=op, tag=tag)
+        result = yield from bcast(p, partial, root, group, tag=tag + 1)
     return result
 
 
@@ -156,18 +174,21 @@ def gather(
 
     Root serializes the receives, giving the paper's O(m * num(seq)) cost.
     """
+    _group_index(p, group)
+    _root_index(group, root)
     if len(group) == 1:
         return [value]
-    if p.rank == root:
-        out: list[Any] = []
-        for member in group:
-            if member == root:
-                out.append(value)
-            else:
-                item = yield from p.recv(member, tag=tag)
-                out.append(item)
-        return out
-    p.send(root, value, tag=tag)
+    with p.scoped("gather"):
+        if p.rank == root:
+            out: list[Any] = []
+            for member in group:
+                if member == root:
+                    out.append(value)
+                else:
+                    item = yield from p.recv(member, tag=tag)
+                    out.append(item)
+            return out
+        p.send(root, value, tag=tag)
     return None
 
 
@@ -179,23 +200,27 @@ def scatter(
     tag: int = 105,
 ) -> Generator[Any, None, Any]:
     """Scatter: root sends ``items[i]`` to the i-th group member."""
+    _group_index(p, group)
+    _root_index(group, root)
     if len(group) == 1:
         if items is None or len(items) != 1:
             raise CommunicationError("scatter needs exactly one item per group member")
         return items[0]
-    if p.rank == root:
-        if items is None or len(items) != len(group):
-            raise CommunicationError(
-                f"scatter root needs {len(group)} items, got {None if items is None else len(items)}"
-            )
-        mine: Any = None
-        for member, item in zip(group, items):
-            if member == root:
-                mine = item
-            else:
-                p.send(member, item, tag=tag)
-        return mine
-    value = yield from p.recv(root, tag=tag)
+    with p.scoped("scatter"):
+        if p.rank == root:
+            if items is None or len(items) != len(group):
+                raise CommunicationError(
+                    f"scatter root needs {len(group)} items, "
+                    f"got {None if items is None else len(items)}"
+                )
+            mine: Any = None
+            for member, item in zip(group, items):
+                if member == root:
+                    mine = item
+                else:
+                    p.send(member, item, tag=tag)
+            return mine
+        value = yield from p.recv(root, tag=tag)
     return value
 
 
@@ -218,11 +243,12 @@ def allgather(
         return blocks
     right = group[(me + 1) % n]
     left = group[(me - 1) % n]
-    for step in range(n - 1):
-        send_idx = (me - step) % n
-        recv_idx = (me - step - 1) % n
-        p.send(right, blocks[send_idx], tag=tag)
-        blocks[recv_idx] = yield from p.recv(left, tag=tag)
+    with p.scoped("allgather"):
+        for step in range(n - 1):
+            send_idx = (me - step) % n
+            recv_idx = (me - step - 1) % n
+            p.send(right, blocks[send_idx], tag=tag)
+            blocks[recv_idx] = yield from p.recv(left, tag=tag)
     return blocks
 
 
@@ -239,13 +265,14 @@ def shift(
     ``-delta`` neighbor (paper's Shift along a grid dimension).
     """
     n = len(group)
+    me = _group_index(p, group)
     if n == 1 or delta % n == 0:
         return data
-    me = _group_index(p, group)
     dest = group[(me + delta) % n]
     src = group[(me - delta) % n]
-    p.send(dest, data, tag=tag)
-    received = yield from p.recv(src, tag=tag)
+    with p.scoped("shift"):
+        p.send(dest, data, tag=tag)
+        received = yield from p.recv(src, tag=tag)
     return received
 
 
@@ -271,10 +298,11 @@ def affine_transform(
     src_idx = images.index(me)
     if dest_idx == me and src_idx == me:
         return data
-    if dest_idx != me:
-        p.send(group[dest_idx], data, tag=tag)
-    if src_idx != me:
-        data = yield from p.recv(group[src_idx], tag=tag)
+    with p.scoped("affine"):
+        if dest_idx != me:
+            p.send(group[dest_idx], data, tag=tag)
+        if src_idx != me:
+            data = yield from p.recv(group[src_idx], tag=tag)
     return data
 
 
@@ -286,9 +314,10 @@ def barrier(p: Proc, group: Sequence[int], tag: int = 109) -> Generator[Any, Non
     """
     n = len(group)
     me = _group_index(p, group)
-    k = 1
-    while k < n:
-        p.send(group[(me + k) % n], None, tag=tag)
-        yield from p.recv(group[(me - k) % n], tag=tag)
-        k *= 2
+    with p.scoped("barrier"):
+        k = 1
+        while k < n:
+            p.send(group[(me + k) % n], None, tag=tag)
+            yield from p.recv(group[(me - k) % n], tag=tag)
+            k *= 2
     return None

@@ -26,13 +26,15 @@ channel) and raises :class:`repro.errors.DeadlockError`.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Callable, Generator
-from dataclasses import dataclass, field
+from collections.abc import Callable, Generator, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.errors import CommunicationError, DeadlockError, MachineError
+from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.machine.trace import TraceEvent
@@ -93,6 +95,9 @@ class RunResult:
         Aggregate communication volume.
     trace:
         Per-rank event lists (only when tracing was enabled).
+    metrics:
+        Aggregated per-rank / per-tag / per-collective counters
+        (:class:`repro.machine.metrics.Metrics`), always populated.
     """
 
     values: list[Any]
@@ -100,6 +105,7 @@ class RunResult:
     message_count: int
     message_words: int
     trace: list[list[TraceEvent]] | None = None
+    metrics: Metrics | None = None
 
     @property
     def makespan(self) -> float:
@@ -116,6 +122,7 @@ class Proc:
         self._engine = engine
         self.rank = rank
         self.clock = 0.0
+        self.scope = ""  # active collective label stack (see scoped())
 
     # -- identity -------------------------------------------------------
     @property
@@ -133,6 +140,20 @@ class Proc:
     def __repr__(self) -> str:
         return f"Proc(rank={self.rank}, clock={self.clock:.3f})"
 
+    @contextmanager
+    def scoped(self, label: str) -> Iterator["Proc"]:
+        """Label every event recorded inside the block with *label*.
+
+        Nested scopes join with ``/`` (``allreduce/reduce``), so metrics
+        can attribute time and volume to the primitive that caused it.
+        """
+        prev = self.scope
+        self.scope = f"{prev}/{label}" if prev else label
+        try:
+            yield self
+        finally:
+            self.scope = prev
+
     # -- local work -------------------------------------------------------
     def compute(self, flops: float, label: str = "") -> None:
         """Account *flops* floating-point operations of local work."""
@@ -140,7 +161,9 @@ class Proc:
             raise MachineError(f"negative flops: {flops}")
         start = self.clock
         self.clock += self._engine.model.flops(flops)
-        self._engine.record(self.rank, "compute", start, self.clock, detail=label, words=0)
+        self._engine.record(
+            self.rank, "compute", start, self.clock, detail=label, words=0, scope=self.scope
+        )
 
     def delay(self, seconds: float, label: str = "") -> None:
         """Advance the local clock by raw simulated seconds."""
@@ -148,7 +171,9 @@ class Proc:
             raise MachineError(f"negative delay: {seconds}")
         start = self.clock
         self.clock += seconds
-        self._engine.record(self.rank, "delay", start, self.clock, detail=label, words=0)
+        self._engine.record(
+            self.rank, "delay", start, self.clock, detail=label, words=0, scope=self.scope
+        )
 
     # -- point-to-point ---------------------------------------------------
     def send(self, dest: int, data: Any, words: int | None = None, tag: int = 0) -> None:
@@ -175,11 +200,18 @@ class Proc:
         )
         self._engine.deliver(msg)
         self._engine.record(
-            self.rank, "send", start, self.clock, peer=dest, words=nwords, tag=tag
+            self.rank, "send", start, self.clock, peer=dest, words=nwords, tag=tag,
+            scope=self.scope,
         )
 
     def recv(self, source: int, tag: int = 0) -> Generator[Any, None, Any]:
-        """Blocking receive — use as ``value = yield from p.recv(source)``."""
+        """Blocking receive — use as ``value = yield from p.recv(source)``.
+
+        Accounting is split: the interval from blocking until the message
+        became available is recorded as an idle ``wait`` event (omitted
+        when the message was already there), and only the receiver
+        occupancy (drain) is recorded as the ``recv`` event.
+        """
         self._engine.topology.check_rank(source)
         if source == self.rank:
             raise CommunicationError(f"P{self.rank} attempted to receive from itself")
@@ -191,10 +223,16 @@ class Proc:
                 break
             yield channel  # parked by the engine until a send arrives
         model = self._engine.model
-        self.clock = max(self.clock, msg.available)
-        self.clock += model.recv_occupancy(msg.words)
+        arrival = max(block_start, msg.available)
+        if arrival > block_start:
+            self._engine.record(
+                self.rank, "wait", block_start, arrival, peer=source, words=msg.words,
+                tag=tag, scope=self.scope,
+            )
+        self.clock = arrival + model.recv_occupancy(msg.words)
         self._engine.record(
-            self.rank, "recv", block_start, self.clock, peer=source, words=msg.words, tag=tag
+            self.rank, "recv", arrival, self.clock, peer=source, words=msg.words, tag=tag,
+            scope=self.scope,
         )
         return msg.data
 
@@ -221,6 +259,25 @@ class Engine:
         self.message_words = 0
         self._tracing = trace
         self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+        self.metrics = Metrics(topology.size)
+
+    def _reset_run_state(self) -> None:
+        """Start every :meth:`run` from a clean slate.
+
+        Clocks, message counters, queues and trace lanes used to leak
+        across repeated ``run()`` calls on the same engine; new lists are
+        bound (not cleared) so results returned from earlier runs stay
+        valid.
+        """
+        for proc in self.procs:
+            proc.clock = 0.0
+            proc.scope = ""
+        self._queues = {}
+        self._waiting = {}
+        self.message_count = 0
+        self.message_words = 0
+        self.trace = [[] for _ in self.procs]
+        self.metrics = Metrics(self.topology.size)
 
     # -- messaging ------------------------------------------------------
     def deliver(self, msg: _Message) -> None:
@@ -252,7 +309,11 @@ class Engine:
         words: int = 0,
         tag: int = 0,
         detail: str = "",
+        scope: str = "",
     ) -> None:
+        self.metrics.observe(
+            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope
+        )
         if self._tracing:
             self.trace[rank].append(
                 TraceEvent(
@@ -264,6 +325,7 @@ class Engine:
                     words=words,
                     tag=tag,
                     detail=detail,
+                    scope=scope,
                 )
             )
 
@@ -276,6 +338,7 @@ class Engine:
         per_rank_args: list[tuple] | None = None,
     ) -> RunResult:
         """Run one instance of *program* per rank to completion."""
+        self._reset_run_state()
         kwargs = kwargs or {}
         gens: list[Generator | None] = []
         values: list[Any] = [None] * len(self.procs)
@@ -327,6 +390,7 @@ class Engine:
             message_count=self.message_count,
             message_words=self.message_words,
             trace=self.trace if self._tracing else None,
+            metrics=self.metrics,
         )
 
 

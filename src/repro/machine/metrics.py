@@ -1,0 +1,234 @@
+"""Measurement registry for the SPMD machine.
+
+The paper's method (alignment §3 and the DP over loop sequences §4)
+chooses data layouts by *predicted* communication cost; this module is
+the measurement side of that bargain.  A :class:`Metrics` instance is
+populated automatically by :meth:`repro.machine.engine.Engine.record`
+for every simulated event and aggregates:
+
+* per-rank accounting — compute / communication / blocked-wait seconds,
+  messages and words sent/received (:class:`RankMetrics`);
+* per-kind, per-tag and per-collective histograms (:class:`GroupStats`)
+  — collectives label their events (``bcast``, ``reduce``, ``allgather``,
+  ``allreduce/reduce`` when nested, ...), so measured volumes can be
+  compared against the Table 1 cost formulas primitive by primitive.
+
+``words``/``messages`` in the histograms count *injections* (send
+events) so a message is never double-counted; ``seconds`` accumulate
+over send + recv + wait + labelled compute, i.e. the total simulated
+time attributable to that key.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+from repro.util.tables import Table
+
+_COMM_KINDS = ("send", "recv")
+
+
+@dataclass
+class RankMetrics:
+    """Aggregated accounting for one logical processor."""
+
+    rank: int
+    compute_seconds: float = 0.0
+    delay_seconds: float = 0.0
+    comm_seconds: float = 0.0  # send + recv occupancy (transfer only)
+    wait_seconds: float = 0.0  # idle, blocked on an empty channel
+    messages_sent: int = 0
+    messages_received: int = 0
+    words_sent: int = 0
+    words_received: int = 0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Time the processor was doing something (not blocked waiting)."""
+        return self.compute_seconds + self.delay_seconds + self.comm_seconds
+
+
+@dataclass
+class GroupStats:
+    """One histogram bucket (per kind, per tag or per collective)."""
+
+    events: int = 0
+    seconds: float = 0.0
+    messages: int = 0
+    words: int = 0
+
+    def add(self, seconds: float, messages: int = 0, words: int = 0) -> None:
+        self.events += 1
+        self.seconds += seconds
+        self.messages += messages
+        self.words += words
+
+
+@dataclass
+class Metrics:
+    """Registry of counters for one engine run.
+
+    Per-rank fields are only ever touched by the owning rank (thread), so
+    they need no synchronization; the shared histograms take a lock when
+    ``threadsafe`` is set (used by the threaded backend).
+    """
+
+    nprocs: int
+    threadsafe: bool = False
+    ranks: list[RankMetrics] = field(init=False)
+    by_kind: dict[str, GroupStats] = field(init=False, default_factory=dict)
+    by_tag: dict[int, GroupStats] = field(init=False, default_factory=dict)
+    by_collective: dict[str, GroupStats] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
+        self._lock = threading.Lock() if self.threadsafe else nullcontext()
+
+    # -- population (called by Engine.record) ---------------------------
+    def observe(
+        self,
+        rank: int,
+        kind: str,
+        start: float,
+        end: float,
+        peer: int | None = None,
+        words: int = 0,
+        tag: int = 0,
+        scope: str = "",
+    ) -> None:
+        duration = end - start
+        r = self.ranks[rank]
+        if kind == "compute":
+            r.compute_seconds += duration
+        elif kind == "delay":
+            r.delay_seconds += duration
+        elif kind == "send":
+            r.comm_seconds += duration
+            r.messages_sent += 1
+            r.words_sent += words
+        elif kind == "recv":
+            r.comm_seconds += duration
+            r.messages_received += 1
+            r.words_received += words
+        elif kind == "wait":
+            r.wait_seconds += duration
+        is_send = kind == "send"
+        messages = 1 if is_send else 0
+        nwords = words if is_send else 0
+        with self._lock:
+            self.by_kind.setdefault(kind, GroupStats()).add(duration, messages, nwords)
+            if kind in _COMM_KINDS:
+                self.by_tag.setdefault(tag, GroupStats()).add(duration, messages, nwords)
+            if scope:
+                self.by_collective.setdefault(scope, GroupStats()).add(
+                    duration, messages, nwords
+                )
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def message_count(self) -> int:
+        return sum(r.messages_sent for r in self.ranks)
+
+    @property
+    def message_words(self) -> int:
+        return sum(r.words_sent for r in self.ranks)
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(r.compute_seconds for r in self.ranks)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(r.comm_seconds for r in self.ranks)
+
+    @property
+    def wait_seconds(self) -> float:
+        return sum(r.wait_seconds for r in self.ranks)
+
+    def slack(self, makespan: float) -> list[float]:
+        """Per-rank idle time: makespan minus the rank's busy seconds."""
+        return [makespan - r.busy_seconds for r in self.ranks]
+
+    # -- reporting -------------------------------------------------------
+    def rank_table(self) -> str:
+        table = Table(
+            ["rank", "compute", "comm", "wait", "msgs out", "msgs in", "words out"],
+            title="Per-rank accounting (simulated seconds)",
+        )
+        for r in self.ranks:
+            table.add_row(
+                [
+                    f"P{r.rank}",
+                    f"{r.compute_seconds:g}",
+                    f"{r.comm_seconds:g}",
+                    f"{r.wait_seconds:g}",
+                    r.messages_sent,
+                    r.messages_received,
+                    r.words_sent,
+                ]
+            )
+        return table.render()
+
+    def collective_table(self) -> str:
+        table = Table(
+            ["collective", "events", "seconds", "messages", "words"],
+            title="Per-collective accounting",
+        )
+        for key in sorted(self.by_collective):
+            s = self.by_collective[key]
+            table.add_row([key, s.events, f"{s.seconds:g}", s.messages, s.words])
+        return table.render()
+
+    def tag_table(self) -> str:
+        table = Table(
+            ["tag", "events", "seconds", "messages", "words"],
+            title="Per-tag accounting",
+        )
+        for key in sorted(self.by_tag):
+            s = self.by_tag[key]
+            table.add_row([key, s.events, f"{s.seconds:g}", s.messages, s.words])
+        return table.render()
+
+    def summary(self) -> str:
+        parts = [self.rank_table()]
+        if self.by_collective:
+            parts.append(self.collective_table())
+        if self.by_tag:
+            parts.append(self.tag_table())
+        return "\n\n".join(parts)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot (for artifact files and tooling)."""
+
+        def stats(s: GroupStats) -> dict:
+            return {
+                "events": s.events,
+                "seconds": s.seconds,
+                "messages": s.messages,
+                "words": s.words,
+            }
+
+        return {
+            "nprocs": self.nprocs,
+            "message_count": self.message_count,
+            "message_words": self.message_words,
+            "ranks": [
+                {
+                    "rank": r.rank,
+                    "compute_seconds": r.compute_seconds,
+                    "delay_seconds": r.delay_seconds,
+                    "comm_seconds": r.comm_seconds,
+                    "wait_seconds": r.wait_seconds,
+                    "messages_sent": r.messages_sent,
+                    "messages_received": r.messages_received,
+                    "words_sent": r.words_sent,
+                    "words_received": r.words_received,
+                }
+                for r in self.ranks
+            ],
+            "by_kind": {k: stats(v) for k, v in self.by_kind.items()},
+            "by_tag": {str(k): stats(v) for k, v in self.by_tag.items()},
+            "by_collective": {k: stats(v) for k, v in self.by_collective.items()},
+        }

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.errors import DeadlockError, MachineError
 from repro.machine.engine import Channel, Proc, RunResult, _Message
+from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.machine.trace import TraceEvent
@@ -55,6 +56,20 @@ class ThreadedEngine:
         self.message_words = 0
         self._tracing = trace
         self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+        self.metrics = Metrics(topology.size, threadsafe=True)
+
+    def _reset_run_state(self) -> None:
+        """Reset clocks, queues, counters and lanes before each run."""
+        for proc in self.procs:
+            proc.clock = 0.0
+            proc.scope = ""
+        self._queues = {}
+        self._wait_channels = {}
+        self._deadlocked = False
+        self.message_count = 0
+        self.message_words = 0
+        self.trace = [[] for _ in self.procs]
+        self.metrics = Metrics(self.topology.size, threadsafe=True)
 
     # -- messaging (same protocol the Proc handle expects) ----------------
     def deliver(self, msg: _Message) -> None:
@@ -79,12 +94,16 @@ class ThreadedEngine:
     def record(
         self, rank: int, kind: str, start: float, end: float,
         peer: int | None = None, words: int = 0, tag: int = 0, detail: str = "",
+        scope: str = "",
     ) -> None:
+        self.metrics.observe(
+            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope
+        )
         if self._tracing:
             # Each rank appends only to its own lane: no lock needed.
             self.trace[rank].append(
                 TraceEvent(rank=rank, kind=kind, start=start, end=end,
-                           peer=peer, words=words, tag=tag, detail=detail)
+                           peer=peer, words=words, tag=tag, detail=detail, scope=scope)
             )
 
     def _true_deadlock(self) -> bool:
@@ -107,6 +126,7 @@ class ThreadedEngine:
         kwargs: dict | None = None,
         per_rank_args: list[tuple] | None = None,
     ) -> RunResult:
+        self._reset_run_state()
         kwargs = kwargs or {}
         values: list[Any] = [None] * len(self.procs)
         errors: list[BaseException | None] = [None] * len(self.procs)
@@ -174,6 +194,7 @@ class ThreadedEngine:
             message_count=self.message_count,
             message_words=self.message_words,
             trace=self.trace if self._tracing else None,
+            metrics=self.metrics,
         )
 
 

@@ -6,15 +6,24 @@ from dataclasses import dataclass
 
 from repro.util.tables import Table
 
+#: Event kinds in glyph-priority order (highest first): when two events
+#: share a gantt cell, the earlier kind in this tuple wins.
+KINDS = ("compute", "delay", "send", "recv", "wait")
+
 
 @dataclass(frozen=True)
 class TraceEvent:
     """One timed event on one processor.
 
-    ``kind`` is one of ``compute``, ``delay``, ``send``, ``recv``.  For
-    communication events, ``peer`` is the other endpoint and ``words`` the
-    message size.  ``start``/``end`` are simulated times; for a ``recv``,
-    ``start`` is when the processor began waiting.
+    ``kind`` is one of ``compute``, ``delay``, ``send``, ``recv`` or
+    ``wait``.  For communication events, ``peer`` is the other endpoint
+    and ``words`` the message size.  ``start``/``end`` are simulated
+    times.  A blocking receive produces up to two events: a ``wait``
+    covering the idle interval from the moment the processor blocked to
+    the moment the message became available (omitted when zero), then a
+    ``recv`` covering only the receiver occupancy (drain).  ``scope`` is
+    the collective label stack (e.g. ``"bcast"``, ``"allreduce/reduce"``)
+    active when the event was recorded, empty for bare point-to-point.
     """
 
     rank: int
@@ -25,6 +34,7 @@ class TraceEvent:
     words: int = 0
     tag: int = 0
     detail: str = ""
+    scope: str = ""
 
     @property
     def duration(self) -> float:
@@ -39,6 +49,8 @@ class TraceEvent:
             return f"send->{self.peer}({self.words}w)"
         if self.kind == "recv":
             return f"recv<-{self.peer}({self.words}w)"
+        if self.kind == "wait":
+            return f"wait<-{self.peer}"
         return self.kind
 
 
@@ -48,13 +60,22 @@ def busy_time(events: list[TraceEvent], kinds: tuple[str, ...] = ("compute",)) -
 
 
 def comm_time(events: list[TraceEvent]) -> float:
-    """Total time spent in send/recv (including recv waiting)."""
+    """Total time spent transferring data (send + recv occupancy).
+
+    Blocked waiting is *not* included — it is recorded as separate
+    ``wait`` events; see :func:`wait_time`.
+    """
     return busy_time(events, ("send", "recv"))
+
+
+def wait_time(events: list[TraceEvent]) -> float:
+    """Total time spent idle, blocked on an empty channel."""
+    return busy_time(events, ("wait",))
 
 
 def trace_table(
     trace: list[list[TraceEvent]],
-    kinds: tuple[str, ...] = ("compute", "send", "recv"),
+    kinds: tuple[str, ...] = ("compute", "send", "recv", "wait"),
     max_events: int | None = None,
 ) -> str:
     """Render a per-processor event table ordered by start time."""
@@ -70,31 +91,48 @@ def trace_table(
     return table.render()
 
 
+#: Gantt glyphs; priority resolves overlaps deterministically
+#: (compute/delay > send > recv > wait).
+_GANTT_GLYPHS = {"compute": "#", "delay": "#", "send": ">", "recv": "<", "wait": "~"}
+_GANTT_PRIORITY = {"compute": 4, "delay": 4, "send": 3, "recv": 2, "wait": 1}
+
+
 def gantt(
     trace: list[list[TraceEvent]],
     width: int = 72,
-    kinds: tuple[str, ...] = ("compute", "send", "recv"),
+    kinds: tuple[str, ...] = ("compute", "send", "recv", "wait"),
 ) -> str:
     """Render an ASCII Gantt chart: one row per processor.
 
-    ``#`` marks compute, ``>`` send, ``<`` recv (waiting + draining), ``.``
-    idle.  Useful to *see* the SOR pipeline fill and drain (paper Fig 5).
+    ``#`` marks compute, ``>`` send, ``<`` recv (drain), ``~`` blocked
+    waiting, ``.`` idle.  Useful to *see* the SOR pipeline fill and drain
+    (paper Fig 5).  When several events map to the same cell the glyph
+    with the highest priority wins (``compute`` > ``send`` > ``recv`` >
+    ``wait``), independent of lane insertion order.
     """
     horizon = max((e.end for lane in trace for e in lane), default=0.0)
     if horizon <= 0:
         return "(empty trace)"
     scale = width / horizon
-    glyphs = {"compute": "#", "delay": "#", "send": ">", "recv": "<"}
     lines = []
     for rank, lane in enumerate(trace):
         row = ["."] * width
+        prio = [0] * width
         for e in lane:
             if e.kind not in kinds:
                 continue
-            lo = min(width - 1, int(e.start * scale))
+            if e.start >= horizon:
+                # Zero-duration event exactly at the horizon: it occupies
+                # no time, so it must not repaint the final cell.
+                continue
+            lo = int(e.start * scale)  # e.start < horizon => lo < width
             hi = min(width, max(lo + 1, int(e.end * scale)))
+            p = _GANTT_PRIORITY.get(e.kind, 0)
+            g = _GANTT_GLYPHS.get(e.kind, "?")
             for x in range(lo, hi):
-                row[x] = glyphs.get(e.kind, "?")
+                if p > prio[x]:
+                    row[x] = g
+                    prio[x] = p
         lines.append(f"P{rank:<3}|{''.join(row)}|")
     lines.append(f"    0{' ' * (width - 10)}{horizon:9.1f}")
     return "\n".join(lines)

@@ -3,18 +3,27 @@
 Usage::
 
     python -m repro.tools.report [outdir]
+    python -m repro.tools.report --trace {sor,jacobi,cannon} [--out DIR]
 
-Writes the analytic Table 1/2, the Table 3/4 layouts, the Table 5 token
-analysis, the Fig 2/7 affinity graphs, the Fig 3 decomposition, the Fig 5
-schedule, the generated Fig 6/8 programs, and a headline summary of the
-measured §4/§5/§6 comparisons.  The full sweeps (with shape assertions)
-live in ``benchmarks/``; this tool is the quick console/CI variant.
+Without ``--trace``, writes the analytic Table 1/2, the Table 3/4
+layouts, the Table 5 token analysis, the Fig 2/7 affinity graphs, the
+Fig 3 decomposition, the Fig 5 schedule, the generated Fig 6/8 programs,
+and a headline summary of the measured §4/§5/§6 comparisons.  The full
+sweeps (with shape assertions) live in ``benchmarks/``; this tool is the
+quick console/CI variant.
+
+With ``--trace KERNEL``, runs one reference kernel with tracing on and
+prints the observability report — per-rank/per-collective metrics, the
+critical path, and an ASCII gantt — and, when ``--out`` (or the
+positional outdir) is given, writes a Perfetto-loadable Chrome-trace
+JSON plus a metrics JSON snapshot.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
-import sys
 
 import numpy as np
 
@@ -30,14 +39,24 @@ from repro.distribution import Dist1D, Dist2D
 from repro.distribution.layout import ownership_table
 from repro.dp import solve_program_distribution
 from repro.kernels import (
+    cannon_matmul,
     gauss_broadcast,
     gauss_pipelined,
+    jacobi_rowdist,
     make_spd_system,
     sor_naive,
     sor_pipelined,
 )
 from repro.lang import gauss_program, jacobi_program, sor_program
-from repro.machine import MachineModel, Ring, run_spmd
+from repro.machine import (
+    Grid2D,
+    MachineModel,
+    Ring,
+    chrome_trace_json,
+    critical_path,
+    run_spmd,
+)
+from repro.machine.trace import gantt
 from repro.pipeline.mapping import choose_mapping, mapping_table
 from repro.pipeline.sor_schedule import render_schedule, sor_schedule_from_trace
 from repro.util.tables import Table
@@ -170,9 +189,78 @@ SECTIONS = [
 ]
 
 
+def _trace_sor():
+    m, n = 16, 4
+    A, b, _ = make_spd_system(m, seed=2)
+    return run_spmd(
+        sor_pipelined,
+        Ring(n),
+        MachineModel(tf=1, tc=1),
+        args=(A, b, np.zeros(m), 1.0, 1),
+        trace=True,
+    )
+
+
+def _trace_jacobi():
+    m, n = 32, 4
+    A, b, _ = make_spd_system(m, seed=2)
+    return run_spmd(
+        jacobi_rowdist, Ring(n), MODEL, args=(A, b, np.zeros(m), 2), trace=True
+    )
+
+
+def _trace_cannon():
+    q, nb = 2, 8
+    rng = np.random.default_rng(0)
+    size = q * nb
+    B = rng.random((size, size))
+    C = rng.random((size, size))
+    return run_spmd(cannon_matmul, Grid2D(q, q), MODEL, args=(B, C, q), trace=True)
+
+
+TRACED = {
+    "sor": _trace_sor,
+    "jacobi": _trace_jacobi,
+    "cannon": _trace_cannon,
+}
+
+
+def trace_report(kernel: str, outdir: pathlib.Path | None = None) -> int:
+    """Run one traced kernel and print/write the observability report."""
+    res = TRACED[kernel]()
+    report = critical_path(res.trace)
+    print(f"\n{'=' * 72}\ntraced run: {kernel} (makespan {res.makespan:g})\n{'=' * 72}")
+    print(res.metrics.summary())
+    print()
+    print(report.describe())
+    print()
+    print(gantt(res.trace))
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        trace_path = outdir / f"{kernel}_chrome_trace.json"
+        trace_path.write_text(
+            json.dumps(chrome_trace_json(res.trace, process_name=kernel)) + "\n"
+        )
+        metrics_path = outdir / f"{kernel}_metrics.json"
+        metrics_path.write_text(json.dumps(res.metrics.as_dict(), indent=2) + "\n")
+        print(f"\nwrote {trace_path} and {metrics_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    outdir = pathlib.Path(args[0]) if args else None
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.report", description=__doc__
+    )
+    parser.add_argument("outdir", nargs="?", default=None,
+                        help="directory for artifact files (optional)")
+    parser.add_argument("--trace", choices=sorted(TRACED),
+                        help="trace one reference kernel instead of the full report")
+    parser.add_argument("--out", default=None,
+                        help="output directory (alias for outdir, used with --trace)")
+    ns = parser.parse_args(argv)
+    outdir = pathlib.Path(ns.out or ns.outdir) if (ns.out or ns.outdir) else None
+    if ns.trace:
+        return trace_report(ns.trace, outdir)
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
     for name, builder in SECTIONS:

@@ -137,6 +137,73 @@ class TestReduce:
         assert res.values[0] == 24.0
 
 
+class TestRootAndMembershipValidation:
+    """Regression: bad roots raised a bare ValueError from list.index, and
+    single-member early returns skipped membership validation entirely."""
+
+    def test_bcast_root_outside_group(self):
+        def prog(p):
+            if p.rank in (0, 1):
+                value = yield from bcast(p, p.rank, root=2, group=(0, 1))
+                return value
+            return None
+
+        with pytest.raises(CommunicationError, match="root"):
+            run_collective(prog, 3)
+
+    def test_reduce_root_outside_group(self):
+        def prog(p):
+            if p.rank in (0, 1):
+                value = yield from reduce(p, 1.0, root=2, group=(0, 1))
+                return value
+            return None
+
+        with pytest.raises(CommunicationError, match="root"):
+            run_collective(prog, 3)
+
+    def test_gather_single_member_group_rejects_nonmember(self):
+        def prog(p):
+            if p.rank == 1:
+                out = yield from gather(p, 1.0, root=0, group=(0,))
+                return out
+            return None
+
+        with pytest.raises(CommunicationError):
+            run_collective(prog, 2)
+
+    def test_scatter_single_member_group_rejects_nonmember(self):
+        def prog(p):
+            if p.rank == 1:
+                value = yield from scatter(p, [1.0], root=0, group=(0,))
+                return value
+            return None
+
+        with pytest.raises(CommunicationError):
+            run_collective(prog, 2)
+
+    def test_scatter_single_member_root_outside_group(self):
+        def prog(p):
+            if p.rank == 0:
+                value = yield from scatter(p, [1.0], root=1, group=(0,))
+                return value
+            return None
+
+        with pytest.raises(CommunicationError, match="root"):
+            run_collective(prog, 2)
+
+    def test_shift_identity_rejects_nonmember(self):
+        def prog(p):
+            if p.rank == 2:
+                # delta % n == 0: previously returned the data untouched
+                # without checking membership at all.
+                value = yield from shift(p, p.rank, (0, 1), delta=2)
+                return value
+            return None
+
+        with pytest.raises(CommunicationError):
+            run_collective(prog, 3)
+
+
 class TestAllreduceGatherScatter:
     def test_allreduce(self):
         group = tuple(range(6))

@@ -252,5 +252,45 @@ class TestRunHarness:
         res = run_spmd(prog, Ring(2), unit_model, trace=True)
         kinds0 = [e.kind for e in res.trace[0]]
         assert kinds0 == ["compute", "send"]
+        # The message becomes available at t=4 while P1 blocks at t=3:
+        # the receive splits into an idle wait and the actual drain.
         kinds1 = [e.kind for e in res.trace[1]]
-        assert kinds1 == ["compute", "recv"]
+        assert kinds1 == ["compute", "wait", "recv"]
+        wait, recv = res.trace[1][1], res.trace[1][2]
+        assert (wait.start, wait.end) == (3.0, 4.0)
+        assert (recv.start, recv.end) == (4.0, 5.0)
+
+    def test_recv_trace_no_wait_when_message_early(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, 1.0)
+            else:
+                p.compute(100)
+                yield from p.recv(0)
+
+        res = run_spmd(prog, Ring(2), unit_model, trace=True)
+        assert [e.kind for e in res.trace[1]] == ["compute", "recv"]
+
+    def test_engine_reuse_resets_state(self, unit_model):
+        """Regression: counters, clocks and traces must not leak between
+        repeated run() calls on the same Engine."""
+        from repro.machine.engine import Engine
+
+        def prog(p):
+            p.compute(2)
+            if p.rank == 0:
+                p.send(1, np.zeros(7))
+            else:
+                yield from p.recv(0)
+
+        engine = Engine(Ring(2), unit_model, trace=True)
+        first = engine.run(prog)
+        second = engine.run(prog)
+        assert second.message_count == first.message_count == 1
+        assert second.message_words == first.message_words == 7
+        assert second.finish_times == first.finish_times
+        assert [len(lane) for lane in second.trace] == [len(lane) for lane in first.trace]
+        # Results of the first run must stay intact after the second.
+        assert first.message_count == 1 and len(first.trace[0]) == 2
+        assert first.metrics is not second.metrics
+        assert first.metrics.message_count == second.metrics.message_count == 1

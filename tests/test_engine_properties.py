@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -80,11 +79,12 @@ class TestEngineProperties:
             args=(sizes, computes, rounds),
             trace=True,
         )
-        from repro.machine.trace import busy_time, comm_time
+        from repro.machine.trace import busy_time, comm_time, wait_time
 
         for rank, lane in enumerate(res.trace):
-            busy = busy_time(lane) + comm_time(lane)
-            assert res.finish_times[rank] <= busy + 1e-9
+            # compute + transfer + blocked waiting tiles the whole timeline.
+            total = busy_time(lane) + comm_time(lane) + wait_time(lane)
+            assert res.finish_times[rank] <= total + 1e-9
             assert res.finish_times[rank] >= busy_time(lane)
 
     @settings(max_examples=10, deadline=None)

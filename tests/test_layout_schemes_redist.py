@@ -207,3 +207,32 @@ class TestRedistribution:
         dst = Scheme.of(ArrayPlacement("X", (2,)))
         with pytest.raises(DistributionError):
             redistribution_cost(src, dst, {}, (4, 4), costs)
+
+    def test_missing_size_with_explicit_arrays(self, costs):
+        src = Scheme.of(ArrayPlacement("X", (1,)))
+        dst = Scheme.of(ArrayPlacement("X", (2,)))
+        with pytest.raises(DistributionError, match="no size known"):
+            redistribution_cost(src, dst, {}, (4, 4), costs, arrays=("X",))
+
+    def test_extent_one_grid_dim_costs_nothing(self, costs):
+        """Splitting along a grid dimension of extent 1 never moved data,
+        so leaving it (even into replication) must produce no terms."""
+        src = ArrayPlacement("X", (2,))
+        dst = ArrayPlacement("X", (1,), rest="replicated")
+        terms = placement_change_terms(src, dst, 64, (4, 1), costs)
+        assert terms == []
+
+    def test_extent_one_both_ways_is_free(self, costs):
+        src = Scheme.of(ArrayPlacement("X", (2,)))
+        dst = Scheme.of(ArrayPlacement("X", (2,), kinds=(Kind.CYCLIC,)))
+        total, terms = redistribution_cost(src, dst, {"X": 64}, (4, 1), costs)
+        assert total == 0 and terms == []
+
+    def test_unchanged_array_skipped_before_size_lookup(self, costs):
+        """An array whose placement is identical in both schemes is
+        skipped entirely — its size need not even be known."""
+        src = Scheme.of(ArrayPlacement("X", (1,)), ArrayPlacement("Y", (1,)))
+        dst = Scheme.of(ArrayPlacement("X", (1,)), ArrayPlacement("Y", (2,)))
+        total, terms = redistribution_cost(src, dst, {"Y": 64}, (4, 4), costs)
+        assert total > 0
+        assert all(t.array == "Y" for t in terms)

@@ -33,3 +33,28 @@ class TestCli:
         rc = main([])
         assert rc == 0
         assert "Algorithm 1" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def test_trace_sor_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        rc = main(["--trace", "sor", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "Per-rank accounting" in out
+        doc = json.loads((tmp_path / "sor_chrome_trace.json").read_text())
+        assert doc["traceEvents"]
+        metrics = json.loads((tmp_path / "sor_metrics.json").read_text())
+        assert metrics["message_count"] > 0
+
+    def test_trace_stdout_only(self, capsys):
+        rc = main(["--trace", "cannon"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cannon/shift" in out
+
+    def test_trace_positional_outdir(self, tmp_path):
+        rc = main(["--trace", "jacobi", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "jacobi_chrome_trace.json").exists()

@@ -95,7 +95,7 @@ class TestThreadedSemantics:
 
         res = run_spmd_threaded(prog, Ring(2), MODEL, trace=True)
         assert [e.kind for e in res.trace[0]] == ["compute", "send"]
-        assert [e.kind for e in res.trace[1]] == ["compute", "recv"]
+        assert [e.kind for e in res.trace[1]] == ["compute", "wait", "recv"]
 
     def test_worker_exception_propagates(self):
         def prog(p):
