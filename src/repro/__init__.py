@@ -24,13 +24,23 @@ substrate it needs:
 * :mod:`repro.kernels` — sequential references and hand-written SPMD
   kernels used to validate everything end to end.
 
-Quick start::
+Quick start (the stable facade, :mod:`repro.api`)::
 
-    from repro import compile_and_run, jacobi_program
-    result = compile_and_run(jacobi_program(), nprocs=4, env={"m": 32, "maxiter": 10})
+    from repro import compile, jacobi_program
+    plan = compile(jacobi_program())
+    result = plan.run(nprocs=4, env={"m": 32, "maxiter": 10})
+    print(plan.explain())
+
+The legacy top-level entry points (``compile_and_run``,
+``solve_program_distribution``, ``generate_spmd``, ``run_spmd``) still
+work but emit :class:`DeprecationWarning`; import them from
+:mod:`repro.api`, :mod:`repro.dp`, :mod:`repro.codegen` and
+:mod:`repro.machine` instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 __version__ = "0.1.0"
 
@@ -51,13 +61,13 @@ from repro.machine import (
     Proc,
     Ring,
     RunResult,
-    run_spmd,
 )
 from repro.distribution import Dist1D, Dist2D, Kind, Scheme
 from repro.alignment import build_cag, exact_alignment, greedy_alignment
 from repro.costmodel import CommCosts
-from repro.dp import algorithm1, solve_program_distribution
-from repro.codegen import generate_spmd, load_generated
+from repro.dp import algorithm1
+from repro.codegen import load_generated
+from repro.api import Plan, compile
 
 __all__ = [
     "__version__",
@@ -88,61 +98,53 @@ __all__ = [
     "solve_program_distribution",
     "generate_spmd",
     "load_generated",
+    "Plan",
+    "compile",
     "compile_and_run",
 ]
 
 
-def compile_and_run(
-    program,
-    nprocs: int,
-    env: dict[str, int],
-    model: MachineModel | None = None,
-    inputs: dict | None = None,
-    seed: int = 0,
-):
-    """One-call pipeline: recognize, generate SPMD code, run, verify.
-
-    Builds a random diagonally-dominant system when *inputs* is not given
-    (keys depend on the program pattern: ``A``/``B``/``X0``/``omega``/
-    ``iterations``).  Returns the :class:`~repro.machine.RunResult`.
-    """
-    import numpy as np
-
-    from repro.codegen.patterns import (
-        GaussPattern,
-        IterativeSolvePattern,
-        MatmulPattern,
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    from repro.kernels.linalg import make_spd_system
 
-    model = model or MachineModel()
-    gen = generate_spmd(program)
-    fn = load_generated(gen)
-    pat = gen.pattern
-    if inputs is None:
-        m = env.get("m", env.get("n", 16))
-        if isinstance(pat, IterativeSolvePattern):
-            A, b, _ = make_spd_system(m, seed=seed)
-            inputs = {
-                pat.A: A,
-                pat.B: b,
-                "X0": np.zeros(m),
-                "iterations": env.get(pat.iterations, env.get("maxiter", 10)),
-            }
-            if pat.omega:
-                inputs[pat.omega] = 1.1
-        elif isinstance(pat, GaussPattern):
-            A, b, _ = make_spd_system(m, seed=seed)
-            inputs = {pat.A: A, pat.B: b}
-        elif isinstance(pat, MatmulPattern):
-            rng = np.random.default_rng(seed)
-            inputs = {pat.left: rng.random((m, m)), pat.right: rng.random((m, m))}
-        else:
-            raise ReproError(
-                f"compile_and_run cannot build default inputs for strategy "
-                f"{gen.strategy!r}; pass inputs= explicitly"
-            )
-    if gen.strategy == "cannon":
-        q = int(round(nprocs**0.5))
-        return run_spmd(fn, Grid2D(q, q), model, args=(inputs,))
-    return run_spmd(fn, Ring(nprocs), model, args=(inputs,))
+
+def compile_and_run(program, nprocs, env, model=None, inputs=None, seed=0):
+    """Deprecated shim — use :func:`repro.api.compile_and_run` (or
+    ``compile(program).run(...)``)."""
+    from repro import api
+
+    _deprecated("compile_and_run", "repro.api.compile_and_run")
+    return api.compile_and_run(
+        program, nprocs, env, model=model, inputs=inputs, seed=seed
+    )
+
+
+def solve_program_distribution(program, nprocs, env, model, **kwargs):
+    """Deprecated shim — use :func:`repro.dp.solve_program_distribution`
+    or :meth:`repro.api.Plan.solve`."""
+    from repro.dp import phases
+
+    _deprecated("solve_program_distribution", "repro.dp.solve_program_distribution")
+    return phases.solve_program_distribution(program, nprocs, env, model, **kwargs)
+
+
+def generate_spmd(program, strategy=None):
+    """Deprecated shim — use :func:`repro.codegen.generate_spmd` or
+    :func:`repro.api.compile`."""
+    from repro.codegen import spmd
+
+    _deprecated("generate_spmd", "repro.codegen.generate_spmd")
+    return spmd.generate_spmd(program, strategy=strategy)
+
+
+def run_spmd(program, topology, model=None, **kwargs):
+    """Deprecated shim — use :func:`repro.machine.run_spmd` or
+    :meth:`repro.api.Plan.run`."""
+    from repro.machine import engine
+
+    _deprecated("run_spmd", "repro.machine.run_spmd")
+    return engine.run_spmd(program, topology, model, **kwargs)

@@ -1,0 +1,197 @@
+"""The stable facade over the compilation pipeline.
+
+Three names cover the common journeys end to end::
+
+    from repro.api import compile
+
+    plan = compile(jacobi_program())
+    print(plan.explain())                 # what was recognized + why
+    result = plan.run(nprocs=4, env={"m": 32, "maxiter": 10})
+
+* :func:`compile` — recognize the program and emit its SPMD code;
+* :meth:`Plan.run` — execute the generated code on the simulator
+  (``backend="engine"`` or ``"threaded"``), fabricating well-conditioned
+  default inputs when none are given;
+* :meth:`Plan.explain` — human-readable account of the strategy, and —
+  given ``nprocs``/``env`` — Algorithm 1's chosen distribution chain
+  with its redistribution plans.
+
+:meth:`Plan.solve` exposes the §4 dynamic program directly, including
+the ``execute=True`` validation mode that lowers every chosen
+redistribution to real message traffic (:mod:`repro.dp.validate`).
+
+This module intentionally imports no deprecated shims; the legacy
+top-level names (``repro.compile_and_run`` and friends) now delegate
+here and warn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
+from repro.errors import ReproError
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.machine.engine import RunResult, run_spmd
+from repro.machine.model import MachineModel
+from repro.machine.threaded import run_spmd_threaded
+from repro.machine.topology import Grid2D, Ring
+
+__all__ = ["Plan", "compile", "compile_and_run"]
+
+_RUNNERS = {"engine": run_spmd, "threaded": run_spmd_threaded}
+
+
+def compile(program: Program | str, strategy: str | None = None) -> Plan:
+    """Recognize *program* (a :class:`~repro.lang.ast.Program` or DSL
+    source text) and generate its SPMD code."""
+    if isinstance(program, str):
+        program = parse_program(program)
+    return Plan(program=program, generated=generate_spmd(program, strategy=strategy))
+
+
+def _default_inputs(gen: GeneratedProgram, env: dict[str, int], seed: int) -> dict:
+    """Fabricate inputs matching the recognized pattern (SPD system for
+    solvers, random operands for matmul)."""
+    import numpy as np
+
+    from repro.codegen.patterns import (
+        GaussPattern,
+        IterativeSolvePattern,
+        MatmulPattern,
+    )
+    from repro.kernels.linalg import make_spd_system
+
+    pat = gen.pattern
+    m = env.get("m", env.get("n", 16))
+    if isinstance(pat, IterativeSolvePattern):
+        A, b, _ = make_spd_system(m, seed=seed)
+        inputs = {
+            pat.A: A,
+            pat.B: b,
+            "X0": np.zeros(m),
+            "iterations": env.get(pat.iterations, env.get("maxiter", 10)),
+        }
+        if pat.omega:
+            inputs[pat.omega] = 1.1
+        return inputs
+    if isinstance(pat, GaussPattern):
+        A, b, _ = make_spd_system(m, seed=seed)
+        return {pat.A: A, pat.B: b}
+    if isinstance(pat, MatmulPattern):
+        rng = np.random.default_rng(seed)
+        return {pat.left: rng.random((m, m)), pat.right: rng.random((m, m))}
+    raise ReproError(
+        f"cannot build default inputs for strategy {gen.strategy!r}; "
+        f"pass inputs= explicitly"
+    )
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled program: the source IR plus its generated SPMD code."""
+
+    program: Program
+    generated: GeneratedProgram
+
+    @property
+    def strategy(self) -> str:
+        return self.generated.strategy
+
+    @property
+    def source(self) -> str:
+        """The generated SPMD source text."""
+        return self.generated.source
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        nprocs: int,
+        env: dict[str, int],
+        model: MachineModel | None = None,
+        inputs: dict | None = None,
+        seed: int = 0,
+        backend: str = "engine",
+        trace: bool = False,
+    ) -> RunResult:
+        """Execute the generated program on *nprocs* simulated processors.
+
+        *backend* selects the deterministic event-driven ``"engine"`` or
+        the real-thread ``"threaded"`` runtime; both produce the same
+        values and traffic.
+        """
+        if backend not in _RUNNERS:
+            raise ReproError(
+                f"unknown backend {backend!r}; expected one of {sorted(_RUNNERS)}"
+            )
+        model = model or MachineModel()
+        fn = load_generated(self.generated)
+        if inputs is None:
+            inputs = _default_inputs(self.generated, env, seed)
+        if self.generated.strategy == "cannon":
+            q = int(round(nprocs**0.5))
+            topology = Grid2D(q, q)
+        else:
+            topology = Ring(nprocs)
+        return _RUNNERS[backend](fn, topology, model, args=(inputs,), trace=trace)
+
+    # -- analysis --------------------------------------------------------
+    def solve(
+        self,
+        nprocs: int,
+        env: dict[str, int],
+        model: MachineModel | None = None,
+        execute: bool = False,
+        backends: tuple[str, ...] = ("engine", "threaded"),
+    ):
+        """Run Algorithm 1 on the program; with ``execute=True`` also
+        lower and run every chosen redistribution, returning the extra
+        :class:`~repro.dp.validate.RedistValidation` element."""
+        from repro.dp.phases import solve_program_distribution
+
+        return solve_program_distribution(
+            self.program, nprocs, env, model or MachineModel(),
+            execute=execute, backends=backends,
+        )
+
+    def explain(
+        self,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        model: MachineModel | None = None,
+    ) -> str:
+        """What the compiler decided, and — with *nprocs*/*env* — what
+        Algorithm 1 chooses for it."""
+        lines = [
+            f"strategy: {self.strategy}",
+            f"entry:    {self.generated.entry}",
+            f"pattern:  {self.generated.pattern!r}",
+        ]
+        if nprocs is not None and env is not None:
+            tables, result = self.solve(nprocs, env, model)
+            lines.append(f"N = {nprocs}, env = {env}")
+            lines.append(f"total cost {result.cost:g} "
+                         f"(loop-carried {result.loop_carried:g})")
+            for (start, length), (scheme, grid) in zip(result.segments, result.schemes):
+                seg = f"L{start}" if length == 1 else f"L{start}..L{start + length - 1}"
+                lines.append(f"  {seg} on {grid[0]}x{grid[1]}: {scheme.describe()}")
+            for label, plan in tables.transition_plans(result):
+                lines.append(f"  change {label}: {plan.total:g} "
+                             f"({plan.analytic_words:g} words)")
+        return "\n".join(lines)
+
+
+def compile_and_run(
+    program: Program | str,
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel | None = None,
+    inputs: dict | None = None,
+    seed: int = 0,
+    backend: str = "engine",
+) -> RunResult:
+    """One call: :func:`compile` then :meth:`Plan.run`."""
+    return compile(program).run(
+        nprocs, env, model=model, inputs=inputs, seed=seed, backend=backend
+    )

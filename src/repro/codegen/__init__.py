@@ -15,6 +15,7 @@ from repro.codegen.patterns import (
     match_iterative_solve,
     match_matmul,
 )
+from repro.codegen.redist import RedistMove, emit_redistribution_program
 from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
 
 __all__ = [
@@ -27,4 +28,6 @@ __all__ = [
     "GeneratedProgram",
     "generate_spmd",
     "load_generated",
+    "RedistMove",
+    "emit_redistribution_program",
 ]

@@ -1,20 +1,25 @@
 """Runtime surface available to generated SPMD code.
 
-Generated programs are ``exec``'d with exactly this namespace — NumPy and
-the paper's communication primitives — so the emitted source documents
-its dependencies honestly and cannot accidentally capture library
-internals.
+Generated programs are ``exec``'d with exactly this namespace — NumPy,
+the paper's communication primitives, and the redistribution runtime —
+so the emitted source documents its dependencies honestly and cannot
+accidentally capture library internals.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.distribution.function import Kind
+from repro.distribution.runtime import redistribute
+from repro.distribution.schemes import ArrayPlacement
+from repro.distribution.sections import local_indices, pack_section
 from repro.machine.collectives import (
     allgather,
     allreduce,
     barrier,
     bcast,
+    exchange,
     gather,
     reduce,
     scatter,
@@ -27,10 +32,17 @@ RUNTIME_NAMESPACE = {
     "allreduce": allreduce,
     "barrier": barrier,
     "bcast": bcast,
+    "exchange": exchange,
     "gather": gather,
     "reduce": reduce,
     "scatter": scatter,
     "shift": shift,
+    # Redistribution runtime (layout changes between loop phases).
+    "ArrayPlacement": ArrayPlacement,
+    "Kind": Kind,
+    "local_indices": local_indices,
+    "pack_section": pack_section,
+    "redistribute": redistribute,
 }
 
 

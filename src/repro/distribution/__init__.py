@@ -8,14 +8,37 @@
 * :mod:`~repro.distribution.schemes` — whole-program distribution schemes
   (the ``P_{i,j}`` objects of Algorithm 1);
 * :mod:`~repro.distribution.redistribution` — cost and plan of changing
-  layouts between loop nests (the ``cost(P, P')`` of Algorithm 1).
+  layouts between loop nests (the ``cost(P, P')`` of Algorithm 1);
+* :mod:`~repro.distribution.sections` — which global elements each rank
+  owns under a placement (the executable side of §2.1);
+* :mod:`~repro.distribution.runtime` — lowering of
+  :class:`~repro.distribution.redistribution.RedistPlan` terms to real
+  message traffic, and the :func:`~repro.distribution.runtime.redistribute`
+  runtime call.
 """
 
 from repro.distribution.function import Dist1D, Kind
 from repro.distribution.function2d import Coupling, Dist2D
 from repro.distribution.layout import layout_matrix, ownership_table, render_layout
-from repro.distribution.redistribution import redistribution_cost, replication_cost
+from repro.distribution.redistribution import (
+    RedistPlan,
+    RedistTerm,
+    placement_change_plan,
+    redistribution_cost,
+    replication_cost,
+)
+from repro.distribution.runtime import (
+    RedistLowering,
+    lower_placement_delta,
+    redistribute,
+)
 from repro.distribution.schemes import ArrayPlacement, Scheme, scheme_from_directives
+from repro.distribution.sections import (
+    assemble,
+    local_indices,
+    pack_section,
+    section_table,
+)
 
 __all__ = [
     "Dist1D",
@@ -28,6 +51,16 @@ __all__ = [
     "Scheme",
     "ArrayPlacement",
     "scheme_from_directives",
+    "RedistPlan",
+    "RedistTerm",
+    "placement_change_plan",
     "redistribution_cost",
     "replication_cost",
+    "RedistLowering",
+    "lower_placement_delta",
+    "redistribute",
+    "assemble",
+    "local_indices",
+    "pack_section",
+    "section_table",
 ]

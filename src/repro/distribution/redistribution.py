@@ -1,4 +1,4 @@
-"""Cost of changing data layouts between loop nests.
+"""Cost and plan of changing data layouts between loop nests.
 
 Algorithm 1 (§4) needs two communication-cost oracles:
 
@@ -18,42 +18,147 @@ Rules (derived from the paper's §4 worked example, where
 transition (per array dimension)   cost
 =================================  =======================================
 same mapping, same kind            0
-not distributed -> distributed     0 (data already available everywhere)
-grid g -> not distributed          ManyToManyMulticast(D/Ng, Ng)
+not distributed -> distributed     0 when copies exist along the target
+                                   grid dimension; Scatter(D/Nh, Nh) when
+                                   the source pinned its copy (rest fixed)
+                                   at coordinate 0 of an unused dimension
+grid g -> not distributed          ManyToManyMulticast(D/Ng, Ng) when the
+                                   destination keeps/replicates copies;
+                                   Gather(D/Ng, Ng) when the destination
+                                   pins them (rest fixed) at coordinate 0
+grid g -> grid h, aligned          Transfer(D/Ng) x (Ng - 1) pairwise
+  (Ng == Nh, same kind, fixed)     section moves (pure rank relabeling)
 grid g -> grid h, rest fixed       Ng * OneToManyMulticast(D/Ng, Nh)
 grid g -> grid h, rest replicated  ManyToManyMulticast(D/Ng, Ng)
                                    + OneToManyMulticast(D, Nh)
 same mapping, kind change          AffineTransform(D/Ng, Ng)
-fixed rest -> replicated rest      ManyToManyMulticast(D/Ng', Ng') over
-                                   the unused grid dimension Ng'
+fixed rest -> replicated rest      OneToManyMulticast over each unused
+                                   grid dimension, one root per holder
 =================================  =======================================
 
 ``D`` is the total element count of the array.  These match the paper's
 terms exactly on its examples and degrade gracefully (all costs are zero
 when the relevant grid extent is 1).
+
+Every plan is an executable object: :mod:`repro.distribution.runtime`
+lowers each :class:`RedistTerm` kind to real message traffic on the SPMD
+engine, and ``repro.tools.report --redist`` reconciles the measured word
+counts against :attr:`RedistTerm.volume` (see ``docs/REDISTRIBUTION.md``
+for the per-kind slack bands).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from math import prod
+from typing import Iterator
 
 from repro.costmodel.primitives import CommCosts
 from repro.distribution.schemes import ArrayPlacement, Scheme
 from repro.errors import DistributionError
 
+#: The complete set of primitives a planner may emit.
+TERM_KINDS = (
+    "Transfer",
+    "Scatter",
+    "Gather",
+    "AffineTransform",
+    "OneToManyMulticast",
+    "ManyToManyMulticast",
+)
+
 
 @dataclass(frozen=True)
 class RedistTerm:
-    """One primitive invocation in a redistribution plan (for reporting)."""
+    """One primitive invocation in a redistribution plan.
+
+    ``cost`` is the term's total contribution to the analytic *time* (it
+    already includes any serialization multiplier, e.g. the ``Ng x
+    OneToManyMulticast`` remap rule).  ``count`` is the number of
+    *parallel* instances the term stands for — parallel instances do not
+    add time, but they do add traffic, so :attr:`volume` scales with it.
+    """
 
     array: str
     primitive: str
     words: float
     nprocs: int
     cost: float
+    count: int = 1
+
+    @property
+    def volume(self) -> float:
+        """Analytic words put on the wire by this term (all instances)."""
+        n, m = self.nprocs, self.words
+        base = self.primitive.split("x")[-1]  # tolerate legacy "4xOneToMany..."
+        if base == "Transfer":
+            per = m
+        elif base in ("Scatter", "Gather", "OneToManyMulticast"):
+            per = (n - 1) * m
+        elif base == "ManyToManyMulticast":
+            per = n * (n - 1) * m
+        elif base == "AffineTransform":
+            per = n * m
+        else:  # pragma: no cover - planner only emits TERM_KINDS
+            raise DistributionError(f"unknown primitive {self.primitive!r}")
+        return self.count * per
 
     def describe(self) -> str:
-        return f"{self.primitive}({self.words:g}, {self.nprocs}) on {self.array} = {self.cost:g}"
+        head = f"{self.primitive}({self.words:g}, {self.nprocs})"
+        if self.count != 1:
+            head = f"{self.count} x {head}"
+        return f"{head} on {self.array} = {self.cost:g}"
+
+
+@dataclass(frozen=True)
+class RedistPlan:
+    """A full redistribution plan: the unified return shape of this module.
+
+    Iterating a plan yields ``(total, list(terms))`` so call sites written
+    against the historical tuple API keep working unchanged.
+    """
+
+    src: Scheme | ArrayPlacement
+    dst: Scheme | ArrayPlacement
+    grid: tuple[int, int]
+    terms: tuple[RedistTerm, ...] = ()
+    total: float = field(default=0.0)
+
+    @classmethod
+    def of(
+        cls,
+        src: Scheme | ArrayPlacement,
+        dst: Scheme | ArrayPlacement,
+        grid: tuple[int, int],
+        terms: list[RedistTerm] | tuple[RedistTerm, ...],
+    ) -> "RedistPlan":
+        return cls(src, dst, tuple(grid), tuple(terms), sum(t.cost for t in terms))
+
+    def __iter__(self) -> Iterator:
+        yield self.total
+        yield list(self.terms)
+
+    @property
+    def analytic_words(self) -> float:
+        """Total words the analytic model says this plan moves."""
+        return sum(t.volume for t in self.terms)
+
+    def arrays(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for t in self.terms:
+            seen.setdefault(t.array)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        lines = [f"redistribution on grid {self.grid[0]}x{self.grid[1]}:"]
+        if not self.terms:
+            lines.append("  (free: no data movement)")
+        for t in self.terms:
+            lines.append(f"  {t.describe()}")
+        lines.append(
+            f"  total = {self.total:g}, analytic words = {self.analytic_words:g}"
+        )
+        return "\n".join(lines)
 
 
 def _n_of(grid: tuple[int, int], g: int) -> int:
@@ -64,8 +169,33 @@ def _n_of(grid: tuple[int, int], g: int) -> int:
     raise DistributionError(f"grid dimension must be 1 or 2, got {g}")
 
 
-def _other_dim(g: int) -> int:
-    return 2 if g == 1 else 1
+def _is_aligned_remap(
+    src: ArrayPlacement, dst: ArrayPlacement, grid: tuple[int, int]
+) -> bool:
+    """True when src -> dst is a pure rank relabeling along one dimension.
+
+    Exactly one array dimension moves from grid dim ``g`` to grid dim
+    ``h`` with equal extents and the same kind, both placements pin their
+    rest — then source section ``k`` lives at coordinate ``k`` of ``g``
+    and is wanted at coordinate ``k`` of ``h``: a parallel pairwise
+    Transfer, not a multicast.
+    """
+    if src.rest != "fixed" or dst.rest != "fixed":
+        return False
+    changed = [
+        d
+        for d in range(src.rank)
+        if src.dim_map[d] != dst.dim_map[d] or src.kinds[d] != dst.kinds[d]
+    ]
+    if len(changed) != 1:
+        return False
+    d = changed[0]
+    gs, gd = src.dim_map[d], dst.dim_map[d]
+    if gs is None or gd is None or gs == gd:
+        return False
+    if src.kinds[d] != dst.kinds[d]:
+        return False
+    return _n_of(grid, gs) == _n_of(grid, gd)
 
 
 def placement_change_terms(
@@ -83,11 +213,41 @@ def placement_change_terms(
     terms: list[RedistTerm] = []
     D = float(total_elements)
     name = src.array
+    aligned = _is_aligned_remap(src, dst, grid)
+    # A replicated source keeps one full copy of the data per coordinate
+    # of every unused grid dimension.  When the destination is also
+    # replicated, each copy group performs the per-dimension collective
+    # independently (same time, ncopies times the traffic) — mirror of
+    # the runtime's parallel-group execution.  Toward a "fixed"
+    # destination only the group holding the pinned home acts, so the
+    # count stays 1 (and the runtime may even move *less* than the
+    # aggregate rule charges by exploiting the spare copies).
+    ncopies = 1
+    if src.rest == "replicated" and dst.rest == "replicated":
+        ncopies = prod(
+            _n_of(grid, g) for g in (1, 2) if g not in src.grid_dims()
+        )
 
     for d in range(src.rank):
         gs, gd = src.dim_map[d], dst.dim_map[d]
         if gs is None:
-            continue  # data available everywhere along this array dimension
+            if gd is None:
+                continue
+            nd = _n_of(grid, gd)
+            if (
+                nd > 1
+                and src.rest == "fixed"
+                and gd not in src.grid_dims()
+            ):
+                # The source pinned its copies at coordinate 0 of the
+                # (previously unused) target dimension: splitting along it
+                # is a Scatter from each pinned holder (parallel groups
+                # share the aggregate D/Nh-word message convention, like
+                # the Gather and ManyToManyMulticast rules).
+                cost = costs.scatter(D / nd, nd)
+                terms.append(RedistTerm(name, "Scatter", D / nd, nd, cost))
+            # Otherwise copies already exist along gd (replication): free.
+            continue
         ns = _n_of(grid, gs)
         if ns <= 1:
             # A grid dimension of extent 1 means the array was never really
@@ -96,46 +256,92 @@ def placement_change_terms(
         if gd == gs:
             if src.kinds[d] is not dst.kinds[d]:
                 cost = costs.affine_transform(D / ns, ns)
-                terms.append(RedistTerm(name, "AffineTransform", D / ns, ns, cost))
+                terms.append(
+                    RedistTerm(name, "AffineTransform", D / ns, ns, cost, count=ncopies)
+                )
             continue
         if gd is None:
-            cost = costs.many_to_many(D / ns, ns)
-            terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, cost))
+            if dst.rest == "fixed" and gs not in dst.grid_dims():
+                # The destination pins its copies at coordinate 0 of gs:
+                # collapsing the split is a Gather toward the pinned rank.
+                cost = costs.gather(D / ns, ns)
+                terms.append(RedistTerm(name, "Gather", D / ns, ns, cost))
+            else:
+                cost = costs.many_to_many(D / ns, ns)
+                terms.append(
+                    RedistTerm(
+                        name, "ManyToManyMulticast", D / ns, ns, cost, count=ncopies
+                    )
+                )
             continue
         nd = _n_of(grid, gd)
         if dst.rest == "replicated":
             c1 = costs.many_to_many(D / ns, ns)
-            terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, c1))
-            if nd > 1:
+            terms.append(
+                RedistTerm(name, "ManyToManyMulticast", D / ns, ns, c1, count=ncopies)
+            )
+            if nd > 1 and src.rest == "fixed":
+                # After the departition, copies exist at every coordinate
+                # of gs; each multicasts along gd in parallel (same time,
+                # ns times the traffic).  A replicated source already has
+                # copies along gd, so the spread is free there.
                 c2 = costs.one_to_many(D, nd)
-                terms.append(RedistTerm(name, "OneToManyMulticast", D, nd, c2))
+                terms.append(
+                    RedistTerm(name, "OneToManyMulticast", D, nd, c2, count=ns)
+                )
+        elif aligned:
+            # Section k moves from coordinate k of gs to coordinate k of
+            # gd; section 0 is already in place, the other ns - 1 move in
+            # parallel between disjoint rank pairs.
+            cost = costs.transfer(D / ns)
+            terms.append(
+                RedistTerm(name, "Transfer", D / ns, ns, cost, count=ns - 1)
+            )
         else:
             if nd > 1:
                 cost = ns * costs.one_to_many(D / ns, nd)
                 terms.append(
-                    RedistTerm(name, f"{ns}xOneToManyMulticast", D / ns, nd, cost)
+                    RedistTerm(name, "OneToManyMulticast", D / ns, nd, cost, count=ns)
                 )
             else:
                 cost = costs.many_to_many(D / ns, ns)
                 terms.append(RedistTerm(name, "ManyToManyMulticast", D / ns, ns, cost))
 
-    # Replication along unused grid dimensions (rest fixed -> replicated)
+    # Replication along unused grid dimensions (rest fixed -> replicated).
     if src.rest == "fixed" and dst.rest == "replicated":
-        used = dst.grid_dims()
-        src_used = src.grid_dims()
+        dst_used = dst.grid_dims()
+        # Dimensions along which copies already spread: ones the
+        # destination uses, plus ones a departition multicast just covered.
+        spread = set(dst_used) | set(src.grid_dims())
+        holders = prod(_n_of(grid, g) for g in dst_used) if dst_used else 1
         for g in (1, 2):
-            if g in used or g in src_used:
+            if g in spread:
                 continue
             n = _n_of(grid, g)
             if n > 1:
-                # Each holder multicasts its part along the unused dimension.
-                holders = 1
-                for gg in used:
-                    holders *= _n_of(grid, gg)
+                # One multicast per existing copy, all in parallel.
+                count = prod(
+                    _n_of(grid, gg) for gg in spread if gg != g
+                ) if spread else 1
                 words = D / max(holders, 1)
                 cost = costs.one_to_many(words, n)
-                terms.append(RedistTerm(name, "OneToManyMulticast", words, n, cost))
+                terms.append(
+                    RedistTerm(name, "OneToManyMulticast", words, n, cost, count=count)
+                )
+            spread.add(g)
     return terms
+
+
+def placement_change_plan(
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    total_elements: int,
+    grid: tuple[int, int],
+    costs: CommCosts,
+) -> RedistPlan:
+    """:func:`placement_change_terms` wrapped in a :class:`RedistPlan`."""
+    terms = placement_change_terms(src, dst, total_elements, grid, costs)
+    return RedistPlan.of(src, dst, grid, terms)
 
 
 def redistribution_cost(
@@ -145,17 +351,27 @@ def redistribution_cost(
     grid: tuple[int, int],
     costs: CommCosts,
     arrays: tuple[str, ...] | None = None,
-) -> tuple[float, list[RedistTerm]]:
-    """Total cost (and plan) of changing layouts from *src* to *dst*.
+) -> RedistPlan:
+    """The plan (total cost + terms) of changing layouts from *src* to *dst*.
 
-    Only arrays present in both schemes (or in *arrays* when given) are
-    considered; an array whose placement is unchanged costs nothing.
+    When *arrays* is None every array of *src* must also appear in *dst*
+    — an array that silently vanishes from the destination scheme would
+    make the move look free, so it raises :class:`DistributionError`
+    instead.  Pass an explicit *arrays* tuple to scope the comparison
+    (the DP does this for the intersection of adjacent segments).
     """
     total = 0.0
     terms: list[RedistTerm] = []
-    names = arrays if arrays is not None else tuple(
-        a for a in src.arrays() if a in dst.arrays()
-    )
+    if arrays is not None:
+        names = arrays
+    else:
+        names = tuple(a for a in src.arrays() if a in dst.arrays())
+        missing = tuple(a for a in src.arrays() if a not in dst.arrays())
+        if missing:
+            raise DistributionError(
+                f"arrays {missing!r} appear in the source scheme but not the "
+                "destination; pass arrays=... explicitly to scope the move"
+            )
     for name in names:
         sp = src.placement(name)
         dp = dst.placement(name)
@@ -166,7 +382,7 @@ def redistribution_cost(
         for term in placement_change_terms(sp, dp, array_sizes[name], grid, costs):
             total += term.cost
             terms.append(term)
-    return total, terms
+    return RedistPlan.of(src, dst, grid, terms)
 
 
 def replication_cost(
@@ -174,8 +390,8 @@ def replication_cost(
     total_elements: int,
     grid: tuple[int, int],
     costs: CommCosts,
-) -> tuple[float, list[RedistTerm]]:
-    """Cost of making an array fully replicated from *placement*.
+) -> RedistPlan:
+    """Plan for making an array fully replicated from *placement*.
 
     Used for loop-carried dependences where the next iteration reads the
     whole array everywhere (the paper's
@@ -187,16 +403,4 @@ def replication_cost(
         kinds=placement.kinds,
         rest="replicated",
     )
-    terms = placement_change_terms(placement, dst, total_elements, grid, costs)
-    # Replicate along every grid dimension the source did not cover.
-    used = placement.grid_dims()
-    for g in (1, 2):
-        if g in used:
-            continue
-        n = _n_of(grid, g)
-        if n > 1 and placement.rest == "fixed":
-            cost = costs.one_to_many(float(total_elements), n)
-            terms.append(
-                RedistTerm(placement.array, "OneToManyMulticast", float(total_elements), n, cost)
-            )
-    return sum(t.cost for t in terms), terms
+    return placement_change_plan(placement, dst, total_elements, grid, costs)

@@ -1,0 +1,660 @@
+"""Executable redistribution: lower layout deltas to real message traffic.
+
+:mod:`repro.distribution.redistribution` prices a layout change with
+closed-form :class:`~repro.distribution.redistribution.RedistTerm`s; this
+module *executes* the same change on the SPMD engine so the analytic model
+can be validated end-to-end (ISSUE 2, after Rink et al. 2021's framing of
+redistribution as lowering layout deltas to collective sequences).
+
+The lowering is **literal**: each analytic term kind maps to the engine
+collective the paper prices it with, even where a cleverer exchange would
+move fewer words — the point is to measure the traffic the model claims.
+
+=====================  ================================================
+analytic term          executable lowering
+=====================  ================================================
+Transfer               pairwise :class:`TransferOp` (disjoint pairs)
+Gather                 :class:`GatherOp` toward the pinned rank
+Scatter                :class:`ScatterOp` from each pinned holder
+AffineTransform        :class:`RegridOp` — gather + scatter inside each
+                       holder group (a block<->cyclic regrid is not a
+                       rank permutation, so the permutation collective
+                       cannot realize it; this is its documented cost
+                       within 2x of the analytic ``N * m`` words)
+OneToManyMulticast     :class:`BcastOp` (binomial tree)
+ManyToManyMulticast    :class:`AllgatherOp` (ring)
+=====================  ================================================
+
+Every lowering is checked at plan time by a coverage simulation: per-rank
+boolean masks over the flat element space replay the ops and prove each
+rank ends holding a superset of its destination section.  Compound moves
+the literal rules cannot express (several array dimensions remapped at
+once) fall back to a generic pairwise :class:`ExchangeOp` whose plans are
+flagged ``exact=False`` — correct, but outside the word-count slack bands
+documented in ``docs/REDISTRIBUTION.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import prod
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.distribution.redistribution import _is_aligned_remap
+from repro.distribution.schemes import ArrayPlacement
+from repro.distribution.sections import (
+    groups_along,
+    local_indices,
+    section_table,
+)
+from repro.errors import DistributionError
+from repro.machine.collectives import allgather, bcast, exchange, gather, scatter
+from repro.machine.engine import Proc
+
+#: Tags consumed per op slot (RegridOp needs two: gather then scatter).
+TAG_STRIDE = 2
+DEFAULT_TAG_BASE = 7000
+
+
+@dataclass(frozen=True)
+class TransferOp:
+    """Point-to-point section move (the paper's Transfer primitive)."""
+
+    source: int
+    dest: int
+    indices: np.ndarray
+
+    kind = "Transfer"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset((self.source, self.dest))
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        with p.scoped("transfer"):
+            if p.rank == self.source and self.dest != self.source:
+                p.send(self.dest, buf[self.indices], tag=tag)
+            if p.rank == self.dest and self.dest != self.source:
+                buf[self.indices] = yield from p.recv(self.source, tag=tag)
+                have[self.indices] = True
+        return None
+
+
+@dataclass(frozen=True)
+class BcastOp:
+    """OneToManyMulticast of one index set from *root* over *group*."""
+
+    root: int
+    group: tuple[int, ...]
+    indices: np.ndarray
+
+    kind = "OneToManyMulticast"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(self.group)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        data = buf[self.indices] if p.rank == self.root else None
+        values = yield from bcast(p, data, self.root, self.group, tag=tag)
+        buf[self.indices] = values
+        have[self.indices] = True
+        return None
+
+
+@dataclass(frozen=True)
+class AllgatherOp:
+    """ManyToManyMulticast: every member ends with every contribution."""
+
+    group: tuple[int, ...]
+    indices: tuple[np.ndarray, ...]  # per-member contribution, group order
+
+    kind = "ManyToManyMulticast"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(self.group)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        me = self.group.index(p.rank)
+        blocks = yield from allgather(p, buf[self.indices[me]], self.group, tag=tag)
+        for idx, values in zip(self.indices, blocks):
+            buf[idx] = values
+            have[idx] = True
+        return None
+
+
+@dataclass(frozen=True)
+class GatherOp:
+    """Gather each member's contribution to *root* (serialized at root)."""
+
+    root: int
+    group: tuple[int, ...]
+    indices: tuple[np.ndarray, ...]  # per-member contribution, group order
+
+    kind = "Gather"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(self.group)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        me = self.group.index(p.rank)
+        out = yield from gather(p, buf[self.indices[me]], self.root, self.group, tag=tag)
+        if p.rank == self.root:
+            for idx, values in zip(self.indices, out):
+                buf[idx] = values
+                have[idx] = True
+        return None
+
+
+@dataclass(frozen=True)
+class ScatterOp:
+    """Scatter per-member index sets from *root* (which must hold them)."""
+
+    root: int
+    group: tuple[int, ...]
+    indices: tuple[np.ndarray, ...]  # per-member delivery, group order
+
+    kind = "Scatter"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(self.group)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        items = [buf[idx] for idx in self.indices] if p.rank == self.root else None
+        mine = yield from scatter(p, items, self.root, self.group, tag=tag)
+        me = self.group.index(p.rank)
+        buf[self.indices[me]] = mine
+        have[self.indices[me]] = True
+        return None
+
+
+@dataclass(frozen=True)
+class RegridOp:
+    """AffineTransform lowering: gather to a root, scatter the new split.
+
+    A block<->cyclic change within one holder group is not a rank
+    permutation of equal sections, so it cannot ride the permutation
+    collective; the documented lowering funnels the group's data through
+    its first member and redeals it, ``2 (N-1) m`` measured words against
+    the analytic ``N m``.
+    """
+
+    root: int
+    group: tuple[int, ...]
+    gather_indices: tuple[np.ndarray, ...]
+    scatter_indices: tuple[np.ndarray, ...]
+
+    kind = "AffineTransform"
+
+    def ranks(self) -> frozenset[int]:
+        return frozenset(self.group)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        with p.scoped("affine"):
+            out = yield from gather(
+                p, buf[self.gather_indices[self.group.index(p.rank)]],
+                self.root, self.group, tag=tag,
+            )
+            if p.rank == self.root:
+                for idx, values in zip(self.gather_indices, out):
+                    buf[idx] = values
+                    have[idx] = True
+            items = (
+                [buf[idx] for idx in self.scatter_indices]
+                if p.rank == self.root
+                else None
+            )
+            mine = yield from scatter(p, items, self.root, self.group, tag=tag + 1)
+            me = self.group.index(p.rank)
+            buf[self.scatter_indices[me]] = mine
+            have[self.scatter_indices[me]] = True
+        return None
+
+
+@dataclass(frozen=True)
+class ExchangeOp:
+    """Generic pairwise fallback: every move ``(source, dest, indices)``.
+
+    Used when no literal lowering covers the delta; flagged by
+    ``RedistLowering.exact == False``.
+    """
+
+    moves: tuple[tuple[int, int, np.ndarray], ...]
+
+    kind = "Exchange"
+
+    def ranks(self) -> frozenset[int]:
+        out: set[int] = set()
+        for s, d, _ in self.moves:
+            out.add(s)
+            out.add(d)
+        return frozenset(out)
+
+    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+        sends = [
+            (d, buf[idx]) for s, d, idx in self.moves if s == p.rank and d != p.rank
+        ]
+        expect = [(s, idx) for s, d, idx in self.moves if d == p.rank and s != p.rank]
+        received = yield from exchange(p, sends, [s for s, _ in expect], tag=tag)
+        for s, idx in expect:
+            buf[idx] = received[s]
+            have[idx] = True
+        return None
+
+
+RedistOp = (
+    TransferOp | BcastOp | AllgatherOp | GatherOp | ScatterOp | RegridOp | ExchangeOp
+)
+
+
+@dataclass(frozen=True)
+class RedistLowering:
+    """An executable plan for one array's placement change."""
+
+    src: ArrayPlacement
+    dst: ArrayPlacement
+    extents: tuple[int, ...]
+    grid: tuple[int, int]
+    ops: tuple[RedistOp, ...]
+    exact: bool
+
+    @property
+    def kinds(self) -> frozenset[str]:
+        return frozenset(op.kind for op in self.ops)
+
+    def describe(self) -> str:
+        n1, n2 = self.grid
+        head = (
+            f"{self.src.array}: {len(self.ops)} op(s) on grid {n1}x{n2}"
+            f" ({'literal' if self.exact else 'generic exchange fallback'})"
+        )
+        lines = [head]
+        for op in self.ops:
+            lines.append(f"  {op.kind}: ranks {sorted(op.ranks())}")
+        return "\n".join(lines)
+
+
+class _Coverage:
+    """Plan-time replay of ops over per-rank boolean element masks."""
+
+    def __init__(self, sections: tuple[np.ndarray, ...], total: int) -> None:
+        self.masks = [np.zeros(total, dtype=bool) for _ in sections]
+        for mask, idx in zip(self.masks, sections):
+            mask[idx] = True
+
+    def held(self, rank: int) -> np.ndarray:
+        return np.flatnonzero(self.masks[rank])
+
+    def holds(self, rank: int, indices: np.ndarray) -> bool:
+        return bool(self.masks[rank][indices].all())
+
+    def holders(self) -> list[int]:
+        return [r for r, m in enumerate(self.masks) if m.any()]
+
+    def apply(self, op: RedistOp) -> bool:
+        """Replay *op*; False when a sender lacks the data it would send."""
+        if isinstance(op, TransferOp):
+            if not self.holds(op.source, op.indices):
+                return False
+            self.masks[op.dest][op.indices] = True
+            return True
+        if isinstance(op, BcastOp):
+            if not self.holds(op.root, op.indices):
+                return False
+            for r in op.group:
+                self.masks[r][op.indices] = True
+            return True
+        if isinstance(op, AllgatherOp):
+            union = np.zeros_like(self.masks[0])
+            for r, idx in zip(op.group, op.indices):
+                if not self.holds(r, idx):
+                    return False
+                union[idx] = True
+            for r in op.group:
+                self.masks[r] |= union
+            return True
+        if isinstance(op, GatherOp):
+            for r, idx in zip(op.group, op.indices):
+                if not self.holds(r, idx):
+                    return False
+                self.masks[op.root][idx] = True
+            return True
+        if isinstance(op, ScatterOp):
+            for r, idx in zip(op.group, op.indices):
+                if not self.holds(op.root, idx):
+                    return False
+                self.masks[r][idx] = True
+            return True
+        if isinstance(op, RegridOp):
+            for r, idx in zip(op.group, op.gather_indices):
+                if not self.holds(r, idx):
+                    return False
+                self.masks[op.root][idx] = True
+            for r, idx in zip(op.group, op.scatter_indices):
+                if not self.holds(op.root, idx):
+                    return False
+                self.masks[r][idx] = True
+            return True
+        if isinstance(op, ExchangeOp):
+            for s, d, idx in op.moves:
+                if not self.holds(s, idx):
+                    return False
+                self.masks[d][idx] = True
+            return True
+        raise DistributionError(f"unknown op {op!r}")  # pragma: no cover
+
+
+def _literal_ops(
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    extents: tuple[int, ...],
+    grid: tuple[int, int],
+    dst_secs: tuple[np.ndarray, ...],
+    cov: _Coverage,
+) -> list[RedistOp] | None:
+    """Mirror of the analytic case analysis; None when it cannot express
+    the delta (compound multi-dimension remaps)."""
+    nranks = grid[0] * grid[1]
+    ops: list[RedistOp] = []
+
+    def emit(op: RedistOp) -> bool:
+        if not cov.apply(op):
+            return False
+        ops.append(op)
+        return True
+
+    def needy(group) -> bool:
+        """Some member of *group* is still missing destination data."""
+        return any(
+            dst_secs[r].size and not cov.holds(r, dst_secs[r]) for r in group
+        )
+
+    changed = [
+        d
+        for d in range(src.rank)
+        if src.dim_map[d] != dst.dim_map[d] or src.kinds[d] != dst.kinds[d]
+    ]
+    if len(changed) > 1:
+        return None
+    if changed:
+        d = changed[0]
+        gs, gd = src.dim_map[d], dst.dim_map[d]
+        ns = grid[gs - 1] if gs is not None else 1
+        nd = grid[gd - 1] if gd is not None else 1
+        if gs is not None and gd == gs:
+            # Kind change: regrid each group along gs that holds data and
+            # still needs some (replicated rests leave parallel copy
+            # groups; pinned destinations leave whole groups with nothing
+            # to do, and holder-less groups are fed by the completion
+            # pass below).
+            for group in groups_along(grid, gs):
+                if not needy(group):
+                    continue
+                if not any(cov.masks[r].any() for r in group):
+                    continue
+                members = [r for r in group if cov.masks[r].any() or dst_secs[r].size]
+                if len(members) <= 1:
+                    continue
+                grp = tuple(members)
+                if not emit(
+                    RegridOp(
+                        root=grp[0],
+                        group=grp,
+                        gather_indices=tuple(cov.held(r) for r in grp),
+                        scatter_indices=tuple(dst_secs[r] for r in grp),
+                    )
+                ):
+                    return None
+        elif gs is not None and gd is None and ns > 1:
+            if dst.rest == "fixed" and gs not in dst.grid_dims():
+                # Collapse the split toward the pinned coordinate-0 rank.
+                for group in groups_along(grid, gs):
+                    if not needy(group):
+                        continue
+                    root = group[0]  # coordinate 0 along gs
+                    members = [
+                        r for r in group if r == root or cov.masks[r].any()
+                    ]
+                    if len(members) <= 1:
+                        continue
+                    grp = tuple(members)
+                    if not emit(
+                        GatherOp(
+                            root=root,
+                            group=grp,
+                            indices=tuple(cov.held(r) for r in grp),
+                        )
+                    ):
+                        return None
+            else:
+                for group in groups_along(grid, gs):
+                    if not needy(group):
+                        continue
+                    if not any(cov.masks[r].any() for r in group):
+                        continue
+                    if not emit(
+                        AllgatherOp(
+                            group=group,
+                            indices=tuple(cov.held(r) for r in group),
+                        )
+                    ):
+                        return None
+        elif gs is not None and gd is not None and ns > 1:
+            if dst.rest == "replicated":
+                # Departition along gs; the completion pass below spreads
+                # the copies along the remaining dimensions.
+                for group in groups_along(grid, gs):
+                    if not needy(group):
+                        continue
+                    if not any(cov.masks[r].any() for r in group):
+                        continue
+                    if not emit(
+                        AllgatherOp(
+                            group=group,
+                            indices=tuple(cov.held(r) for r in group),
+                        )
+                    ):
+                        return None
+            elif _is_aligned_remap(src, dst, grid):
+                # Pure rank relabeling: pairwise parallel transfers.
+                for r in range(nranks):
+                    need = dst_secs[r]
+                    if need.size == 0 or cov.holds(r, need):
+                        continue
+                    donor = next(
+                        (s for s in range(nranks) if cov.holds(s, need)), None
+                    )
+                    if donor is None:
+                        return None
+                    if not emit(TransferOp(donor, r, need)):
+                        return None
+            else:
+                # Literal Ng x OneToManyMulticast: every holder multicasts
+                # its whole section over the destination holders — the
+                # Table 1 primitive the analytic rule charges.  Holders
+                # whose data no destination still lacks are redundant
+                # copies (replicated sources); they stay silent.
+                dst_holders = [r for r in range(nranks) if dst_secs[r].size]
+                for h in cov.holders():
+                    held = cov.held(h)
+                    if not any(
+                        r != h
+                        and not cov.holds(
+                            r,
+                            np.intersect1d(dst_secs[r], held, assume_unique=True),
+                        )
+                        for r in dst_holders
+                    ):
+                        continue
+                    group = tuple(sorted({h, *dst_holders}))
+                    if len(group) <= 1:
+                        continue
+                    if not emit(BcastOp(root=h, group=group, indices=held)):
+                        return None
+        elif gs is None and gd is not None and nd > 1:
+            if src.rest == "fixed" and gd not in src.grid_dims():
+                # Copies pinned at coordinate 0 of gd: scatter along it.
+                for group in groups_along(grid, gd):
+                    root = group[0]
+                    if not cov.masks[root].any():
+                        continue
+                    held = cov.held(root)
+                    targets = tuple(
+                        np.intersect1d(dst_secs[r], held, assume_unique=True)
+                        for r in group
+                    )
+                    if not any(t.size for t in targets):
+                        continue
+                    if not emit(ScatterOp(root=root, group=group, indices=targets)):
+                        return None
+            # Otherwise copies already exist along gd: free.
+
+    if dst.rest == "replicated":
+        # Completion: make copies exist along every grid dimension the
+        # destination leaves unused (mirrors the analytic rest rule and
+        # the OneToManyMulticast(D, Nh) of the remap-with-replication
+        # rule, in the same dimension order).
+        for g in (1, 2):
+            if grid[g - 1] <= 1:
+                continue
+            for group in groups_along(grid, g):
+                missing = [
+                    r for r in group if dst_secs[r].size and not cov.holds(r, dst_secs[r])
+                ]
+                if not missing:
+                    continue
+                need = np.unique(np.concatenate([dst_secs[r] for r in group]))
+                root = next((r for r in group if cov.holds(r, need)), None)
+                if root is None:
+                    continue  # another dimension's pass may enable this
+                if not emit(BcastOp(root=root, group=group, indices=need)):
+                    return None
+    return ops
+
+
+def _exchange_ops(
+    src_secs: tuple[np.ndarray, ...],
+    dst_secs: tuple[np.ndarray, ...],
+    total: int,
+    array: str,
+) -> list[RedistOp]:
+    """Canonical pairwise moves: each element travels from its min-rank
+    holder to every rank that needs and lacks it."""
+    nranks = len(src_secs)
+    first = np.full(total, -1, dtype=np.int64)
+    for r in range(nranks - 1, -1, -1):
+        first[src_secs[r]] = r
+    moves: list[tuple[int, int, np.ndarray]] = []
+    for r in range(nranks):
+        need = np.setdiff1d(dst_secs[r], src_secs[r], assume_unique=True)
+        if need.size == 0:
+            continue
+        senders = first[need]
+        if (senders < 0).any():
+            raise DistributionError(
+                f"{array}: source placement holds no copy of some elements"
+            )
+        for s in np.unique(senders):
+            moves.append((int(s), r, need[senders == s]))
+    moves.sort(key=lambda m: (m[0], m[1]))
+    return [ExchangeOp(tuple(moves))] if moves else []
+
+
+@lru_cache(maxsize=256)
+def _lower_cached(
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    extents: tuple[int, ...],
+    grid: tuple[int, int],
+) -> RedistLowering:
+    if src.array != dst.array:
+        raise DistributionError(f"placement arrays differ: {src.array} vs {dst.array}")
+    if src.rank != dst.rank:
+        raise DistributionError(f"{src.array}: placement ranks differ")
+    total = prod(extents)
+    src_secs = section_table(src, extents, grid)
+    dst_secs = section_table(dst, extents, grid)
+
+    cov = _Coverage(src_secs, total)
+    ops = _literal_ops(src, dst, extents, grid, dst_secs, cov)
+    if ops is not None and all(
+        cov.holds(r, dst_secs[r]) for r in range(len(dst_secs))
+    ):
+        return RedistLowering(src, dst, extents, grid, tuple(ops), exact=True)
+
+    cov = _Coverage(src_secs, total)
+    ops = _exchange_ops(src_secs, dst_secs, total, src.array)
+    for op in ops:
+        if not cov.apply(op):  # pragma: no cover - exchange is total by construction
+            raise DistributionError(f"{src.array}: fallback exchange is incoherent")
+    if not all(cov.holds(r, dst_secs[r]) for r in range(len(dst_secs))):
+        raise DistributionError(
+            f"{src.array}: no lowering reaches the destination placement"
+        )
+    return RedistLowering(src, dst, extents, grid, tuple(ops), exact=False)
+
+
+def lower_placement_delta(
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    extents: tuple[int, ...],
+    grid: tuple[int, int],
+) -> RedistLowering:
+    """Executable lowering of one array's ``src -> dst`` placement change.
+
+    The result is cached (placements and shapes are hashable); its ops
+    and index arrays are shared — treat them as read-only.
+    """
+    return _lower_cached(src, dst, tuple(extents), tuple(grid))
+
+
+def redistribute(
+    p: Proc,
+    local: np.ndarray,
+    src: ArrayPlacement,
+    dst: ArrayPlacement,
+    extents: tuple[int, ...],
+    grid: tuple[int, int],
+    tag_base: int = DEFAULT_TAG_BASE,
+    label: str = "redist",
+) -> Generator[Any, None, np.ndarray]:
+    """SPMD runtime call: move this rank's *local* section from layout
+    *src* to layout *dst*, returning the new local section.
+
+    Every rank of the ``N1 x N2`` grid must call it collectively (with
+    ``yield from``), in the same order relative to other communication.
+    *local* must be the rank's current section in flat index order
+    (:func:`repro.distribution.sections.pack_section` produces it).
+    """
+    grid = tuple(grid)
+    extents = tuple(extents)
+    nranks = grid[0] * grid[1]
+    if p.nprocs != nranks:
+        raise DistributionError(
+            f"redistribute on a {grid[0]}x{grid[1]} grid needs {nranks} ranks, "
+            f"engine has {p.nprocs}"
+        )
+    lowering = lower_placement_delta(src, dst, extents, grid)
+    total = prod(extents)
+    buf = np.zeros(total, dtype=np.float64)
+    have = np.zeros(total, dtype=bool)
+    mine = local_indices(src, extents, grid, p.rank)
+    values = np.asarray(local, dtype=np.float64).reshape(-1)
+    if values.size != mine.size:
+        raise DistributionError(
+            f"{src.array}: rank {p.rank} passed {values.size} values for a "
+            f"section of {mine.size}"
+        )
+    buf[mine] = values
+    have[mine] = True
+    with p.scoped(label):
+        for i, op in enumerate(lowering.ops):
+            if p.rank in op.ranks():
+                yield from op.execute(p, buf, have, tag=tag_base + TAG_STRIDE * i)
+    out = local_indices(dst, extents, grid, p.rank)
+    if not have[out].all():  # pragma: no cover - coverage is proven at plan time
+        raise DistributionError(
+            f"{src.array}: rank {p.rank} missing elements after redistribution"
+        )
+    return buf[out]

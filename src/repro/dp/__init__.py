@@ -2,12 +2,24 @@
 
 from repro.dp.algorithm1 import DPResult, algorithm1, brute_force_min_cost
 from repro.dp.phases import PhaseTables, build_phase_tables, solve_program_distribution
+from repro.dp.validate import (
+    ArrayCheck,
+    RedistValidation,
+    TransitionReport,
+    execute_plan,
+    validate_transitions,
+)
 
 __all__ = [
     "algorithm1",
     "brute_force_min_cost",
+    "ArrayCheck",
     "DPResult",
     "PhaseTables",
+    "RedistValidation",
+    "TransitionReport",
     "build_phase_tables",
+    "execute_plan",
     "solve_program_distribution",
+    "validate_transitions",
 ]

@@ -35,7 +35,11 @@ from repro.costmodel.gridsearch import grid_candidates
 from repro.costmodel.loopcost import estimate_loop_cost
 from repro.costmodel.primitives import CommCosts
 from repro.dependence.analysis import live_loop_carried_arrays
-from repro.distribution.redistribution import placement_change_terms, redistribution_cost
+from repro.distribution.redistribution import (
+    RedistPlan,
+    placement_change_plan,
+    redistribution_cost,
+)
 from repro.distribution.schemes import ArrayPlacement, Scheme
 from repro.dp.algorithm1 import DPResult, algorithm1
 from repro.errors import AlignmentError, CostModelError
@@ -94,24 +98,36 @@ class PhaseTables:
             sizes[name] = total
         return sizes
 
-    def change_cost(self, p_prev, p_next) -> float:
+    def change_plan(self, p_prev, p_next) -> RedistPlan:
+        """The redistribution plan between two adjacent chosen segments.
+
+        Adjacent segments legitimately reference different array sets
+        (an array may be dead in one of them), so the comparison is
+        explicitly scoped to the intersection — the bare oracle would
+        reject source-only arrays as silently-vanishing.
+        """
         scheme_prev, _grid_prev = p_prev
         scheme_next, grid_next = p_next
         costs = CommCosts(self.model)
-        total, _terms = redistribution_cost(
-            scheme_prev, scheme_next, self.array_sizes(), grid_next, costs
+        shared = tuple(a for a in scheme_prev.arrays() if a in scheme_next.arrays())
+        return redistribution_cost(
+            scheme_prev, scheme_next, self.array_sizes(), grid_next, costs,
+            arrays=shared,
         )
-        return total
 
-    def loop_carried_cost(self, p_first, p_last) -> float:
+    def change_cost(self, p_prev, p_next) -> float:
+        return self.change_plan(p_prev, p_next).total
+
+    def loop_carried_plans(self, p_first, p_last) -> list[RedistPlan]:
+        """Per-array plans for the iteration boundary of the outer loop."""
         if self.outer is None:
-            return 0.0
+            return []
         scheme_first, grid_first = p_first
         scheme_last, _ = p_last
         carried = live_loop_carried_arrays(self.outer)
         costs = CommCosts(self.model)
         sizes = self.array_sizes()
-        total = 0.0
+        plans: list[RedistPlan] = []
         for array in sorted(carried):
             if array not in scheme_first.arrays() or array not in scheme_last.arrays():
                 continue
@@ -120,9 +136,33 @@ class PhaseTables:
             dst = ArrayPlacement(
                 array=dst.array, dim_map=dst.dim_map, kinds=dst.kinds, rest="replicated"
             )
-            for term in placement_change_terms(src, dst, sizes[array], grid_first, costs):
-                total += term.cost
-        return total
+            plans.append(
+                placement_change_plan(src, dst, sizes[array], grid_first, costs)
+            )
+        return plans
+
+    def loop_carried_cost(self, p_first, p_last) -> float:
+        return sum(p.total for p in self.loop_carried_plans(p_first, p_last))
+
+    def transition_plans(self, result: DPResult) -> list[tuple[str, RedistPlan]]:
+        """Every redistribution along the DP's chosen chain, labeled.
+
+        One plan per adjacent segment boundary, then one per loop-carried
+        array at the iteration boundary (labels ``loop[X]``).
+        """
+        def seg_label(start: int, length: int) -> str:
+            return f"L{start}" if length == 1 else f"L{start}..L{start + length - 1}"
+
+        out: list[tuple[str, RedistPlan]] = []
+        chain = result.schemes
+        bounds = result.segments
+        for k in range(len(chain) - 1):
+            label = f"{seg_label(*bounds[k])} -> {seg_label(*bounds[k + 1])}"
+            out.append((label, self.change_plan(chain[k], chain[k + 1])))
+        if chain:
+            for plan in self.loop_carried_plans(chain[0], chain[-1]):
+                out.append((f"loop[{plan.src.array}]", plan))
+        return out
 
     def solve(self) -> DPResult:
         return algorithm1(self.s, self.M, self.P, self.change_cost, self.loop_carried_cost)
@@ -221,7 +261,22 @@ def solve_program_distribution(
     nprocs: int,
     env: dict[str, int],
     model: MachineModel,
-) -> tuple[PhaseTables, DPResult]:
-    """End-to-end §4 pipeline: tables + Algorithm 1 solution."""
+    execute: bool = False,
+    backends: tuple[str, ...] = ("engine", "threaded"),
+):
+    """End-to-end §4 pipeline: tables + Algorithm 1 solution.
+
+    With ``execute=True`` the chosen chain's redistributions are also
+    lowered and run on the simulator (:mod:`repro.dp.validate`) and a
+    third element — the :class:`~repro.dp.validate.RedistValidation` —
+    is returned, so Algorithm 1's analytic cost model is checked against
+    measured message traffic, not just trusted.
+    """
     tables = build_phase_tables(program, nprocs, env, model)
-    return tables, tables.solve()
+    result = tables.solve()
+    if not execute:
+        return tables, result
+    from repro.dp.validate import validate_transitions
+
+    validation = validate_transitions(tables, result, backends=backends)
+    return tables, result, validation

@@ -25,6 +25,11 @@ from repro.kernels.gauss import gauss_broadcast, gauss_pipelined, gauss_pivoted
 from repro.kernels.cannon import cannon_matmul
 from repro.kernels.cg import cg_parallel, cg_seq
 from repro.kernels.matmul3d import matmul_3d
+from repro.kernels.multiphase import (
+    multiphase_gemv,
+    multiphase_gemv_seq,
+    multiphase_sections,
+)
 from repro.kernels.redblack import redblack_sor, redblack_sor_seq
 
 __all__ = [
@@ -46,6 +51,9 @@ __all__ = [
     "matmul_3d",
     "cg_seq",
     "cg_parallel",
+    "multiphase_gemv",
+    "multiphase_gemv_seq",
+    "multiphase_sections",
     "redblack_sor",
     "redblack_sor_seq",
 ]

@@ -306,6 +306,40 @@ def affine_transform(
     return data
 
 
+def exchange(
+    p: Proc,
+    sends: Sequence[tuple[int, Any]],
+    recv_from: Sequence[int],
+    tag: int = 110,
+) -> Generator[Any, None, dict[int, Any]]:
+    """Pairwise exchange: the irregular all-to-all building block.
+
+    *sends* lists ``(dest, payload)`` pairs this rank contributes;
+    *recv_from* lists the ranks it expects one payload from.  Both sides
+    must agree on the pairing (the redistribution planner computes it
+    deterministically on every rank).  Sends are posted before any
+    receive, so any pairing is deadlock-free; at most one payload per
+    (sender, receiver) pair under one tag.  A self-pair is delivered
+    locally without touching the network.
+    """
+    received: dict[int, Any] = {}
+    with p.scoped("exchange"):
+        for dest, payload in sends:
+            if dest == p.rank:
+                received[dest] = payload
+            else:
+                p.send(dest, payload, tag=tag)
+        for src in recv_from:
+            if src == p.rank:
+                if src not in received:
+                    raise CommunicationError(
+                        f"P{p.rank} expects a self-payload it never posted"
+                    )
+                continue
+            received[src] = yield from p.recv(src, tag=tag)
+    return received
+
+
 def barrier(p: Proc, group: Sequence[int], tag: int = 109) -> Generator[Any, None, None]:
     """Dissemination barrier: log P rounds of zero-word messages.
 

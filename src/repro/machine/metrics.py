@@ -151,6 +151,25 @@ class Metrics:
         """Per-rank idle time: makespan minus the rank's busy seconds."""
         return [makespan - r.busy_seconds for r in self.ranks]
 
+    def scope_totals(self, prefix: str) -> GroupStats:
+        """Aggregate stats over every collective scope under *prefix*.
+
+        Scopes nest with ``/`` (``redist/bcast``), so the traffic of one
+        labelled phase — e.g. a ``redistribute(..., label="redist")``
+        call — is the sum over the label itself and everything nested
+        inside it.  Only top-level matches count: ``allreduce/reduce``
+        is *not* part of prefix ``reduce``.
+        """
+        out = GroupStats()
+        needle = prefix + "/"
+        for key, s in self.by_collective.items():
+            if key == prefix or key.startswith(needle):
+                out.events += s.events
+                out.seconds += s.seconds
+                out.messages += s.messages
+                out.words += s.words
+        return out
+
     # -- reporting -------------------------------------------------------
     def rank_table(self) -> str:
         table = Table(

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.tools.report [outdir]
     python -m repro.tools.report --trace {sor,jacobi,cannon} [--out DIR]
+    python -m repro.tools.report --redist [--out DIR]
 
 Without ``--trace``, writes the analytic Table 1/2, the Table 3/4
 layouts, the Table 5 token analysis, the Fig 2/7 affinity graphs, the
@@ -17,6 +18,12 @@ prints the observability report — per-rank/per-collective metrics, the
 critical path, and an ASCII gantt — and, when ``--out`` (or the
 positional outdir) is given, writes a Perfetto-loadable Chrome-trace
 JSON plus a metrics JSON snapshot.
+
+With ``--redist``, runs Algorithm 1 on the Fig 3 Jacobi program
+(m=256, N=16), lowers every redistribution of the chosen chain to real
+message traffic on both engines, and prints the calibration table —
+analytic vs measured words per transition with the documented slack band.
+Exits nonzero if any transition misses the band or lands wrong sections.
 """
 
 from __future__ import annotations
@@ -32,8 +39,6 @@ from repro.codegen import generate_spmd
 from repro.costmodel import (
     jacobi_dp_time,
     jacobi_section3_time,
-    sor_naive_time,
-    sor_pipelined_time,
 )
 from repro.distribution import Dist1D, Dist2D
 from repro.distribution.layout import ownership_table
@@ -247,6 +252,90 @@ def trace_report(kernel: str, outdir: pathlib.Path | None = None) -> int:
     return 0
 
 
+def redist_report(outdir: pathlib.Path | None = None) -> int:
+    """Validate Algorithm 1's cost model by executing its chosen chain."""
+    from repro.dp.validate import WORD_SLACK_LOWER, WORD_SLACK_UPPER
+
+    m, n = 256, 16
+    tables, result, validation = solve_program_distribution(
+        jacobi_program(), n, {"m": m, "maxiter": 1}, MODEL, execute=True
+    )
+    print(f"\n{'=' * 72}\nredistribution calibration — Jacobi, m={m}, N={n}\n{'=' * 72}")
+    print(f"Algorithm 1 total {result.cost:g} "
+          f"(loop-carried {result.loop_carried:g}); executing "
+          f"{len(validation.transitions)} transitions on "
+          f"{', '.join(validation.backends)}\n")
+    table = Table(
+        ["transition", "grid", "lowering", "analytic", *validation.backends,
+         "ratio", "sections", "band"],
+        title=f"measured vs analytic words "
+              f"(band: {WORD_SLACK_LOWER:g}x..{WORD_SLACK_UPPER:g}x for "
+              f"literal lowerings)",
+    )
+    for t in validation.transitions:
+        measured = {b: t.measured_words(b) for b in validation.backends}
+        ref = measured[validation.backends[0]]
+        ratio = "n/a" if t.analytic_words == 0 else f"{ref / t.analytic_words:.3f}"
+        sections = all(
+            ok for c in t.checks for ok in c.sections_ok.values()
+        )
+        table.add_row([
+            t.label,
+            f"{t.grid[0]}x{t.grid[1]}",
+            "literal" if t.exact else "fallback",
+            f"{t.analytic_words:g}",
+            *[str(measured[b]) for b in validation.backends],
+            ratio,
+            "exact" if sections else "WRONG",
+            "ok" if t.ok() else "MISS",
+        ])
+    print(table.render())
+    print()
+    print(validation.describe())
+    status = 0 if validation.ok else 1
+    print(f"\ncalibration {'PASSED' if status == 0 else 'FAILED'}")
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "program": "jacobi",
+            "m": m,
+            "nprocs": n,
+            "dp_cost": result.cost,
+            "loop_carried": result.loop_carried,
+            "band": [WORD_SLACK_LOWER, WORD_SLACK_UPPER],
+            "ok": validation.ok,
+            "transitions": [
+                {
+                    "label": t.label,
+                    "grid": list(t.grid),
+                    "exact": t.exact,
+                    "analytic_words": t.analytic_words,
+                    "measured_words": {
+                        b: t.measured_words(b) for b in validation.backends
+                    },
+                    "makespan": t.makespan,
+                    "ok": t.ok(),
+                    "arrays": [
+                        {
+                            "array": c.array,
+                            "kinds": list(c.kinds),
+                            "exact": c.exact,
+                            "analytic_words": c.analytic_words,
+                            "measured_words": c.measured_words,
+                            "sections_ok": c.sections_ok,
+                        }
+                        for c in t.checks
+                    ],
+                }
+                for t in validation.transitions
+            ],
+        }
+        path = outdir / "redist_calibration.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.report", description=__doc__
@@ -255,12 +344,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory for artifact files (optional)")
     parser.add_argument("--trace", choices=sorted(TRACED),
                         help="trace one reference kernel instead of the full report")
+    parser.add_argument("--redist", action="store_true",
+                        help="execute Algorithm 1's chosen redistribution chain "
+                             "and reconcile measured vs analytic words")
     parser.add_argument("--out", default=None,
-                        help="output directory (alias for outdir, used with --trace)")
+                        help="output directory (alias for outdir)")
     ns = parser.parse_args(argv)
     outdir = pathlib.Path(ns.out or ns.outdir) if (ns.out or ns.outdir) else None
     if ns.trace:
         return trace_report(ns.trace, outdir)
+    if ns.redist:
+        return redist_report(outdir)
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
     for name, builder in SECTIONS:

@@ -1,0 +1,141 @@
+"""The ``repro.api`` facade and the deprecation of the old entry points."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.lang import jacobi_program, matmul_program
+from repro.machine import MachineModel
+
+MODEL = MachineModel(tf=1, tc=10)
+ENV = {"m": 16, "maxiter": 3}
+
+
+class TestCompile:
+    def test_compile_returns_plan(self):
+        plan = api.compile(jacobi_program())
+        assert isinstance(plan, api.Plan)
+        assert plan.strategy == "data-parallel"
+        assert "def " in plan.source
+
+    def test_compile_accepts_source_text(self):
+        from repro.lang import program_to_text
+
+        plan = api.compile(program_to_text(jacobi_program()))
+        assert plan.strategy == "data-parallel"
+
+    def test_top_level_reexports(self):
+        assert repro.compile is api.compile
+        assert repro.Plan is api.Plan
+        assert "compile" in repro.__all__
+        assert "Plan" in repro.__all__
+
+
+class TestPlanRun:
+    def test_run_converges_like_reference(self):
+        plan = api.compile(jacobi_program())
+        res = plan.run(4, ENV, model=MODEL)
+        x = np.asarray(res.values[0])
+        # All ranks agree on the solved vector.
+        for rank in range(1, 4):
+            assert np.allclose(np.asarray(res.values[rank]), x)
+
+    def test_engine_and_threaded_backends_agree(self):
+        plan = api.compile(jacobi_program())
+        a = plan.run(4, ENV, model=MODEL, seed=5)
+        b = plan.run(4, ENV, model=MODEL, seed=5, backend="threaded")
+        assert np.allclose(np.asarray(a.values[0]), np.asarray(b.values[0]))
+        assert a.message_words == b.message_words
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import ReproError
+
+        plan = api.compile(jacobi_program())
+        with pytest.raises(ReproError, match="backend"):
+            plan.run(4, ENV, backend="mpi")
+
+    def test_compile_and_run_one_call(self):
+        res = api.compile_and_run(matmul_program(), 4, {"n": 8}, model=MODEL)
+        assert res.makespan > 0
+
+
+class TestPlanExplainAndSolve:
+    def test_explain_without_solve(self):
+        text = api.compile(jacobi_program()).explain()
+        assert "strategy: data-parallel" in text
+
+    def test_explain_with_dp(self):
+        text = api.compile(jacobi_program()).explain(
+            nprocs=16, env={"m": 256, "maxiter": 1}, model=MODEL
+        )
+        assert "total cost 10640" in text
+        assert "loop[X]" in text
+
+    def test_solve_execute_mode(self):
+        plan = api.compile(jacobi_program())
+        tables, result, validation = plan.solve(
+            4, {"m": 64, "maxiter": 1}, model=MODEL,
+            execute=True, backends=("engine",),
+        )
+        assert validation.ok
+
+
+class TestDeprecationShims:
+    def test_compile_and_run_warns(self):
+        with pytest.warns(DeprecationWarning, match="compile_and_run"):
+            repro.compile_and_run(jacobi_program(), 4, ENV, model=MODEL)
+
+    def test_solve_program_distribution_warns(self):
+        with pytest.warns(DeprecationWarning, match="solve_program_distribution"):
+            repro.solve_program_distribution(
+                jacobi_program(), 4, {"m": 16, "maxiter": 1}, MODEL
+            )
+
+    def test_generate_spmd_warns(self):
+        with pytest.warns(DeprecationWarning, match="generate_spmd"):
+            repro.generate_spmd(jacobi_program())
+
+    def test_run_spmd_warns(self):
+        from repro.machine import Ring
+
+        def prog(p):
+            return p.rank
+            yield
+
+        with pytest.warns(DeprecationWarning, match="run_spmd"):
+            repro.run_spmd(prog, Ring(2), MODEL)
+
+    def test_shims_delegate_to_originals(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = repro.generate_spmd(jacobi_program())
+        new = api.compile(jacobi_program()).generated
+        assert old.source == new.source
+
+    def test_submodule_originals_do_not_warn(self):
+        from repro.codegen import generate_spmd
+        from repro.dp import solve_program_distribution
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            generate_spmd(jacobi_program())
+            solve_program_distribution(
+                jacobi_program(), 4, {"m": 16, "maxiter": 1}, MODEL
+            )
+
+    def test_repro_api_importable_with_warnings_as_errors(self):
+        """The CI leg: importing only the facade raises no deprecations."""
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::DeprecationWarning", "-c",
+             "import repro.api"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

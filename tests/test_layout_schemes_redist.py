@@ -164,13 +164,35 @@ class TestRedistribution:
         # ManyToMany(m/N, N) = (N-1) * m/N * tc; OneToMany over N2=1 = 0.
         assert total == (n - 1) * (m / n) * 10
 
-    def test_cross_dim_fixed_rest(self, costs):
-        """dim 1 -> dim 2 with fixed rest: N1 x OneToMany(D/N1, N2)."""
+    def test_cross_dim_fixed_rest_aligned(self, costs):
+        """dim 1 -> dim 2 with equal extents, same kind, fixed rest: a pure
+        rank relabeling — section k moves from coordinate k of dim 1 to
+        coordinate k of dim 2 as N-1 parallel pairwise Transfers."""
         src = ArrayPlacement("V", (1,))
         dst = ArrayPlacement("V", (2,))
         terms = placement_change_terms(src, dst, 64, (4, 4), costs)
+        assert [t.primitive for t in terms] == ["Transfer"]
+        assert terms[0].cost == (64 / 4) * 10  # one transfer time: parallel pairs
+        assert terms[0].count == 3  # section 0 is already in place
+        assert terms[0].volume == 3 * (64 / 4)
+
+    def test_cross_dim_fixed_rest_unequal_extents(self, costs):
+        """dim 1 -> dim 2 with different extents cannot be relabeled:
+        N1 x OneToMany(D/N1, N2)."""
+        src = ArrayPlacement("V", (1,))
+        dst = ArrayPlacement("V", (2,))
+        terms = placement_change_terms(src, dst, 64, (4, 8), costs)
         total = sum(t.cost for t in terms)
-        assert total == 4 * (64 / 4) * 2 * 10  # 4 x OneToMany(16, 4): log2(4)=2
+        assert [t.primitive for t in terms] == ["OneToManyMulticast"]
+        assert total == 4 * (64 / 4) * 3 * 10  # 4 x OneToMany(16, 8): log2(8)=3
+
+    def test_cross_dim_kind_change_not_aligned(self, costs):
+        """dim 1 -> dim 2 that also flips block->cyclic is a multicast."""
+        src = ArrayPlacement("V", (1,))
+        dst = ArrayPlacement("V", (2,), kinds=(Kind.CYCLIC,))
+        terms = placement_change_terms(src, dst, 64, (4, 4), costs)
+        assert [t.primitive for t in terms] == ["OneToManyMulticast"]
+        assert terms[0].count == 4
 
     def test_kind_change_affine_transform(self, costs):
         src = ArrayPlacement("X", (1,), kinds=(Kind.BLOCK,))
@@ -178,11 +200,35 @@ class TestRedistribution:
         terms = placement_change_terms(src, dst, 64, (4, 1), costs)
         assert len(terms) == 1 and terms[0].primitive == "AffineTransform"
 
-    def test_departition_to_replicated_dim(self, costs):
+    def test_departition_to_pinned_home_is_gather(self, costs):
+        """Collapsing a split while the destination pins its copy (rest
+        fixed) funnels everything to coordinate 0: a Gather, at the same
+        (N-1) m tc cost the many-to-many rule would charge."""
         src = ArrayPlacement("X", (1,))
         dst = ArrayPlacement("X", (None,))
         terms = placement_change_terms(src, dst, 64, (4, 1), costs)
+        assert [t.primitive for t in terms] == ["Gather"]
+        assert terms[0].cost == 3 * (64 / 4) * 10
+
+    def test_departition_to_replicated_dim(self, costs):
+        src = ArrayPlacement("X", (1,))
+        dst = ArrayPlacement("X", (None,), rest="replicated")
+        terms = placement_change_terms(src, dst, 64, (4, 1), costs)
         assert terms[0].primitive == "ManyToManyMulticast"
+
+    def test_split_from_pinned_home_is_scatter(self, costs):
+        """Splitting along a dimension the source pinned (rest fixed) must
+        deal the data out from coordinate 0: a Scatter."""
+        src = ArrayPlacement("X", (None,))
+        dst = ArrayPlacement("X", (1,))
+        terms = placement_change_terms(src, dst, 64, (4, 4), costs)
+        assert [t.primitive for t in terms] == ["Scatter"]
+        assert terms[0].cost == 3 * (64 / 4) * 10
+
+    def test_split_from_replicated_is_free(self, costs):
+        src = ArrayPlacement("X", (None,), rest="replicated")
+        dst = ArrayPlacement("X", (1,))
+        assert placement_change_terms(src, dst, 64, (4, 4), costs) == []
 
     def test_replication_cost_of_partitioned(self, costs):
         total, terms = replication_cost(ArrayPlacement("X", (1,)), 64, (4, 4), costs)
@@ -227,6 +273,33 @@ class TestRedistribution:
         dst = Scheme.of(ArrayPlacement("X", (2,), kinds=(Kind.CYCLIC,)))
         total, terms = redistribution_cost(src, dst, {"X": 64}, (4, 1), costs)
         assert total == 0 and terms == []
+
+    def test_src_only_array_rejected(self, costs):
+        """An array that vanishes from the destination scheme must not
+        silently make the move look free."""
+        src = Scheme.of(ArrayPlacement("X", (1,)), ArrayPlacement("Y", (1,)))
+        dst = Scheme.of(ArrayPlacement("X", (2,)))
+        with pytest.raises(DistributionError, match="appear in the source scheme"):
+            redistribution_cost(src, dst, {"X": 64, "Y": 64}, (4, 4), costs)
+
+    def test_src_only_array_allowed_with_explicit_scope(self, costs):
+        src = Scheme.of(ArrayPlacement("X", (1,)), ArrayPlacement("Y", (1,)))
+        dst = Scheme.of(ArrayPlacement("X", (2,)))
+        plan = redistribution_cost(src, dst, {"X": 64}, (4, 4), costs, arrays=("X",))
+        assert plan.total > 0
+        assert all(t.array == "X" for t in plan.terms)
+
+    def test_redist_plan_unpacks_like_tuple(self, costs):
+        """RedistPlan stays drop-in for `(total, terms)` call sites."""
+        src = Scheme.of(ArrayPlacement("X", (1,)))
+        dst = Scheme.of(ArrayPlacement("X", (2,), rest="replicated"))
+        plan = redistribution_cost(src, dst, {"X": 256}, (16, 1), costs)
+        total, terms = plan
+        assert total == plan.total == sum(t.cost for t in terms)
+        assert list(plan.terms) == terms
+        assert plan.grid == (16, 1)
+        assert plan.analytic_words == sum(t.volume for t in terms)
+        assert "total" in plan.describe()
 
     def test_unchanged_array_skipped_before_size_lookup(self, costs):
         """An array whose placement is identical in both schemes is
