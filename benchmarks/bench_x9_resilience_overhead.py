@@ -1,0 +1,73 @@
+"""X9 — cost of resilience: plain vs reliable-transport Jacobi.
+
+Measures what the resilience layer (ISSUE 3) charges on a *fault-free*
+machine: the same row-block Jacobi run plain, over acked stop-and-wait
+transfers, and with checkpointing on top, at N=8. The ack round-trips
+serialize each transfer, so simulated time grows — but the overhead
+must stay a small constant factor (the ack is one word against m/N-word
+data messages), and checkpointing must be nearly free (it moves no
+messages). Numerics must be bit-identical throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import jacobi_rowdist, make_spd_system, resilient_jacobi
+from repro.machine import CheckpointStore, MachineModel, Ring, run_spmd
+from repro.util.tables import Table
+
+MODEL = MachineModel(tf=1, tc=10)
+N = 8
+ITERS = 4
+
+
+def sweep():
+    rows = []
+    for m in (32, 64, 128):
+        A, b, _ = make_spd_system(m, seed=m)
+        x0 = np.zeros(m)
+        plain = run_spmd(jacobi_rowdist, Ring(N), MODEL,
+                         args=(A, b, x0, ITERS))
+        acked = run_spmd(resilient_jacobi, Ring(N), MODEL,
+                         args=(A, b, x0, ITERS))
+        store = CheckpointStore(N)
+        ckpt = run_spmd(
+            resilient_jacobi, Ring(N), MODEL, args=(A, b, x0, ITERS),
+            kwargs={"checkpoints": store, "interval": 2},
+        )
+        assert np.array_equal(plain.value(0), acked.value(0))
+        assert np.array_equal(plain.value(0), ckpt.value(0))
+        rows.append((m, plain, acked, ckpt))
+    return rows
+
+
+def test_x9_resilience_overhead(benchmark, emit):
+    rows = benchmark(sweep)
+    table = Table(
+        ["m", "plain", "acked", "acked+ckpt", "ack overhead", "ckpt overhead",
+         "acks"],
+        title=f"X9 — resilient Jacobi overhead, N={N}, {ITERS} iterations",
+    )
+    for m, plain, acked, ckpt in rows:
+        ack_ratio = acked.makespan / plain.makespan
+        ckpt_ratio = ckpt.makespan / acked.makespan
+        table.add_row([
+            m, f"{plain.makespan:g}", f"{acked.makespan:g}",
+            f"{ckpt.makespan:g}", f"{ack_ratio:.2f}x", f"{ckpt_ratio:.3f}x",
+            acked.metrics.faults.get("ack", 0),
+        ])
+    emit("x9_resilience_overhead", table.render())
+
+    for m, plain, acked, ckpt in rows:
+        ack_ratio = acked.makespan / plain.makespan
+        # Acked transfers cost something but stay a small constant factor.
+        assert 1.0 < ack_ratio < 3.0, (m, ack_ratio)
+        # Checkpointing moves no messages: nearly free on top of acks.
+        assert 1.0 <= ckpt.makespan / acked.makespan < 1.05, m
+        # One ack per data message of the allgather rounds.
+        expected_acks = N * (N - 1) * ITERS
+        assert acked.metrics.faults["ack"] == expected_acks, m
+    # Relative ack overhead shrinks as messages grow (ack is one word).
+    ratios = [acked.makespan / plain.makespan for _, plain, acked, _ in rows]
+    assert ratios[-1] < ratios[0]

@@ -51,7 +51,15 @@ from repro.distribution.sections import (
     section_table,
 )
 from repro.errors import DistributionError
-from repro.machine.collectives import allgather, bcast, exchange, gather, scatter
+from repro.machine.collectives import (
+    PLAIN_TRANSPORT,
+    Transport,
+    allgather,
+    bcast,
+    exchange,
+    gather,
+    scatter,
+)
 from repro.machine.engine import Proc
 
 #: Tags consumed per op slot (RegridOp needs two: gather then scatter).
@@ -72,12 +80,15 @@ class TransferOp:
     def ranks(self) -> frozenset[int]:
         return frozenset((self.source, self.dest))
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
+        tx = transport or PLAIN_TRANSPORT
         with p.scoped("transfer"):
             if p.rank == self.source and self.dest != self.source:
-                p.send(self.dest, buf[self.indices], tag=tag)
+                yield from tx.send(p, self.dest, buf[self.indices], tag=tag)
             if p.rank == self.dest and self.dest != self.source:
-                buf[self.indices] = yield from p.recv(self.source, tag=tag)
+                buf[self.indices] = yield from tx.recv(p, self.source, tag=tag)
                 have[self.indices] = True
         return None
 
@@ -95,9 +106,13 @@ class BcastOp:
     def ranks(self) -> frozenset[int]:
         return frozenset(self.group)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         data = buf[self.indices] if p.rank == self.root else None
-        values = yield from bcast(p, data, self.root, self.group, tag=tag)
+        values = yield from bcast(
+            p, data, self.root, self.group, tag=tag, transport=transport
+        )
         buf[self.indices] = values
         have[self.indices] = True
         return None
@@ -115,9 +130,13 @@ class AllgatherOp:
     def ranks(self) -> frozenset[int]:
         return frozenset(self.group)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         me = self.group.index(p.rank)
-        blocks = yield from allgather(p, buf[self.indices[me]], self.group, tag=tag)
+        blocks = yield from allgather(
+            p, buf[self.indices[me]], self.group, tag=tag, transport=transport
+        )
         for idx, values in zip(self.indices, blocks):
             buf[idx] = values
             have[idx] = True
@@ -137,9 +156,14 @@ class GatherOp:
     def ranks(self) -> frozenset[int]:
         return frozenset(self.group)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         me = self.group.index(p.rank)
-        out = yield from gather(p, buf[self.indices[me]], self.root, self.group, tag=tag)
+        out = yield from gather(
+            p, buf[self.indices[me]], self.root, self.group, tag=tag,
+            transport=transport,
+        )
         if p.rank == self.root:
             for idx, values in zip(self.indices, out):
                 buf[idx] = values
@@ -160,9 +184,13 @@ class ScatterOp:
     def ranks(self) -> frozenset[int]:
         return frozenset(self.group)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         items = [buf[idx] for idx in self.indices] if p.rank == self.root else None
-        mine = yield from scatter(p, items, self.root, self.group, tag=tag)
+        mine = yield from scatter(
+            p, items, self.root, self.group, tag=tag, transport=transport
+        )
         me = self.group.index(p.rank)
         buf[self.indices[me]] = mine
         have[self.indices[me]] = True
@@ -190,11 +218,13 @@ class RegridOp:
     def ranks(self) -> frozenset[int]:
         return frozenset(self.group)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         with p.scoped("affine"):
             out = yield from gather(
                 p, buf[self.gather_indices[self.group.index(p.rank)]],
-                self.root, self.group, tag=tag,
+                self.root, self.group, tag=tag, transport=transport,
             )
             if p.rank == self.root:
                 for idx, values in zip(self.gather_indices, out):
@@ -205,7 +235,9 @@ class RegridOp:
                 if p.rank == self.root
                 else None
             )
-            mine = yield from scatter(p, items, self.root, self.group, tag=tag + 1)
+            mine = yield from scatter(
+                p, items, self.root, self.group, tag=tag + 1, transport=transport
+            )
             me = self.group.index(p.rank)
             buf[self.scatter_indices[me]] = mine
             have[self.scatter_indices[me]] = True
@@ -231,12 +263,16 @@ class ExchangeOp:
             out.add(d)
         return frozenset(out)
 
-    def execute(self, p: Proc, buf, have, tag: int) -> Generator:
+    def execute(
+        self, p: Proc, buf, have, tag: int, transport: Transport | None = None
+    ) -> Generator:
         sends = [
             (d, buf[idx]) for s, d, idx in self.moves if s == p.rank and d != p.rank
         ]
         expect = [(s, idx) for s, d, idx in self.moves if d == p.rank and s != p.rank]
-        received = yield from exchange(p, sends, [s for s, _ in expect], tag=tag)
+        received = yield from exchange(
+            p, sends, [s for s, _ in expect], tag=tag, transport=transport
+        )
         for s, idx in expect:
             buf[idx] = received[s]
             have[idx] = True
@@ -618,6 +654,7 @@ def redistribute(
     grid: tuple[int, int],
     tag_base: int = DEFAULT_TAG_BASE,
     label: str = "redist",
+    transport: Transport | None = None,
 ) -> Generator[Any, None, np.ndarray]:
     """SPMD runtime call: move this rank's *local* section from layout
     *src* to layout *dst*, returning the new local section.
@@ -626,6 +663,8 @@ def redistribute(
     ``yield from``), in the same order relative to other communication.
     *local* must be the rank's current section in flat index order
     (:func:`repro.distribution.sections.pack_section` produces it).
+    Passing a :class:`repro.machine.resilient.ReliableTransport` as
+    *transport* runs every underlying collective over acked transfers.
     """
     grid = tuple(grid)
     extents = tuple(extents)
@@ -651,7 +690,9 @@ def redistribute(
     with p.scoped(label):
         for i, op in enumerate(lowering.ops):
             if p.rank in op.ranks():
-                yield from op.execute(p, buf, have, tag=tag_base + TAG_STRIDE * i)
+                yield from op.execute(
+                    p, buf, have, tag=tag_base + TAG_STRIDE * i, transport=transport
+                )
     out = local_indices(dst, extents, grid, p.rank)
     if not have[out].all():  # pragma: no cover - coverage is proven at plan time
         raise DistributionError(

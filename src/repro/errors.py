@@ -51,17 +51,54 @@ class DeadlockError(MachineError):
     """Raised when the engine detects that no processor can make progress.
 
     Carries the set of blocked ranks and what each was waiting for so that
-    tests and users can diagnose communication mismatches.
+    tests and users can diagnose communication mismatches.  When the
+    engine could reconstruct the full picture, ``report`` holds a
+    :class:`repro.machine.forensics.DeadlockReport` with the per-rank
+    wait-for graph, blocked channels and the last trace events per rank
+    (``report.py --deadlock`` renders it).
     """
 
-    def __init__(self, blocked: dict[int, str]) -> None:
+    def __init__(self, blocked: dict[int, str], report=None) -> None:
         detail = ", ".join(f"P{r}: {w}" for r, w in sorted(blocked.items()))
         super().__init__(f"deadlock: all live processors blocked ({detail})")
         self.blocked = dict(blocked)
+        self.report = report
 
 
 class CommunicationError(MachineError):
     """Raised for invalid point-to-point or collective usage."""
+
+
+class FaultError(MachineError):
+    """Base class for errors produced by the fault-injection layer."""
+
+
+class RankCrashedError(FaultError):
+    """Raised when an injected crash kills a rank mid-run.
+
+    The resilient supervisor (:func:`repro.machine.resilient.run_resilient`)
+    catches this, disables the fired crash and restarts the program from
+    its last consistent checkpoint.
+    """
+
+    def __init__(self, rank: int, at_time: float) -> None:
+        super().__init__(f"P{rank} crashed at simulated time {at_time:g}")
+        self.rank = rank
+        self.at_time = at_time
+
+
+class RetryExhaustedError(FaultError):
+    """Raised when a reliable transfer gives up after its last retry."""
+
+    def __init__(self, source: int, dest: int, tag: int, attempts: int) -> None:
+        super().__init__(
+            f"reliable send P{source}->P{dest} (tag {tag}) unacknowledged "
+            f"after {attempts} attempts"
+        )
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.attempts = attempts
 
 
 class DistributionError(ReproError):

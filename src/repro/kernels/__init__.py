@@ -31,6 +31,7 @@ from repro.kernels.multiphase import (
     multiphase_sections,
 )
 from repro.kernels.redblack import redblack_sor, redblack_sor_seq
+from repro.kernels.resilient import resilient_cg, resilient_jacobi, resilient_sor
 
 __all__ = [
     "jacobi_seq",
@@ -56,4 +57,7 @@ __all__ = [
     "multiphase_sections",
     "redblack_sor",
     "redblack_sor_seq",
+    "resilient_jacobi",
+    "resilient_sor",
+    "resilient_cg",
 ]

@@ -28,7 +28,7 @@ from collections.abc import Generator
 import numpy as np
 
 from repro.errors import MachineError
-from repro.machine.collectives import allgather, reduce
+from repro.machine.collectives import PLAIN_TRANSPORT, Transport, allgather, reduce
 from repro.machine.engine import Proc
 from repro.kernels.jacobi import _row_block
 
@@ -75,6 +75,74 @@ def sor_naive(
     return np.concatenate([np.atleast_1d(blk) for blk in blocks])
 
 
+def _pipelined_sweep(
+    p: Proc,
+    A_loc: np.ndarray,
+    b_loc: np.ndarray,
+    diag_loc: np.ndarray,
+    x_loc: np.ndarray,
+    omega: float,
+    m: int,
+    block: int,
+    tx: Transport,
+    tag: int = 60,
+) -> Generator:
+    """One pipelined Gauss-Seidel sweep (Fig 6 body); mutates ``x_loc``.
+
+    Factored out so the resilient kernel
+    (:func:`repro.kernels.resilient.resilient_sor`) can reuse the exact
+    ring schedule over a reliable transport and checkpoint between
+    sweeps.
+    """
+    n = p.nprocs
+    me = p.rank
+    before = me * block
+    right = (me + 1) % n
+    left = (me - 1) % n
+    if n == 1:
+        # Degenerate ring: plain sequential sweep.
+        for ii in range(block):
+            v = float(A_loc[ii, :] @ x_loc)
+            p.compute(2 * block + 4, label=f"row {ii + 1}")
+            x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
+        return
+    with p.scoped("sor-pipeline"):
+        # Phase 1 (Fig 6 lines 7-15): rows owned by earlier processors.
+        # Their partials arrive from the left; my X block is still old,
+        # which is exactly what rows i < before need from columns j > i.
+        for i in range(before):
+            temp = float(A_loc[i, :] @ x_loc)
+            p.compute(2 * block, label=f"row {i + 1} partial")
+            v = yield from tx.recv(p, left, tag=tag)
+            v += temp
+            yield from tx.send(p, right, v, tag=tag)
+        # Phase 2 (lines 16-23): start my own rows with columns j >= i.
+        for ii in range(block):
+            cur = before + ii
+            v_start = float(A_loc[cur, ii:] @ x_loc[ii:])
+            p.compute(2 * (block - ii), label=f"row {cur + 1} start")
+            yield from tx.send(p, right, v_start, tag=tag)
+        # Phase 3 (lines 24-34): my rows come back around the ring;
+        # add contributions of already-updated in-block predecessors,
+        # then update X.
+        for ii in range(block):
+            cur = before + ii
+            temp = float(A_loc[cur, :ii] @ x_loc[:ii])
+            p.compute(2 * ii, label=f"row {cur + 1} finish")
+            v = yield from tx.recv(p, left, tag=tag)
+            v += temp
+            x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
+            p.compute(4, label=f"X({cur + 1})")
+        # Phase 4 (lines 35-43): rows owned by later processors; my X
+        # block is now new, which rows i > before+block need (j < i).
+        for i in range(before + block, m):
+            temp = float(A_loc[i, :] @ x_loc)
+            p.compute(2 * block, label=f"row {i + 1} partial")
+            v = yield from tx.recv(p, left, tag=tag)
+            v += temp
+            yield from tx.send(p, right, v, tag=tag)
+
+
 def sor_pipelined(
     p: Proc,
     A: np.ndarray,
@@ -82,21 +150,20 @@ def sor_pipelined(
     x0: np.ndarray,
     omega: float,
     iterations: int,
+    transport: Transport | None = None,
 ) -> Generator:
     """Pipelined SOR on a ring — the generated program of Fig 6.
 
     Requires ``m`` divisible by the processor count (as the paper's
     ``block = m/N`` does).
     """
+    tx = transport or PLAIN_TRANSPORT
     m = len(b)
     n = p.nprocs
     if m % n != 0:
         raise MachineError(f"pipelined SOR needs N | m, got m={m}, N={n}")
     block = m // n
-    me = p.rank
-    before = me * block
-    right = (me + 1) % n
-    left = (me - 1) % n
+    before = p.rank * block
 
     # Table 4 layout: my column block of A, my elements of B and X.
     A_loc = np.ascontiguousarray(A[:, before : before + block])
@@ -105,49 +172,10 @@ def sor_pipelined(
     x_loc = np.array(x0[before : before + block], dtype=np.float64)
 
     for _ in range(iterations):
-        if n == 1:
-            # Degenerate ring: plain sequential sweep.
-            for ii in range(block):
-                v = float(A_loc[ii, :] @ x_loc)
-                p.compute(2 * block + 4, label=f"row {ii + 1}")
-                x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
-            continue
-        with p.scoped("sor-pipeline"):
-            # Phase 1 (Fig 6 lines 7-15): rows owned by earlier processors.
-            # Their partials arrive from the left; my X block is still old,
-            # which is exactly what rows i < before need from columns j > i.
-            for i in range(before):
-                temp = float(A_loc[i, :] @ x_loc)
-                p.compute(2 * block, label=f"row {i + 1} partial")
-                v = yield from p.recv(left, tag=60)
-                v += temp
-                p.send(right, v, tag=60)
-            # Phase 2 (lines 16-23): start my own rows with columns j >= i.
-            for ii in range(block):
-                cur = before + ii
-                v_start = float(A_loc[cur, ii:] @ x_loc[ii:])
-                p.compute(2 * (block - ii), label=f"row {cur + 1} start")
-                p.send(right, v_start, tag=60)
-            # Phase 3 (lines 24-34): my rows come back around the ring;
-            # add contributions of already-updated in-block predecessors,
-            # then update X.
-            for ii in range(block):
-                cur = before + ii
-                temp = float(A_loc[cur, :ii] @ x_loc[:ii])
-                p.compute(2 * ii, label=f"row {cur + 1} finish")
-                v = yield from p.recv(left, tag=60)
-                v += temp
-                x_loc[ii] += omega * (b_loc[ii] - v) / diag_loc[ii]
-                p.compute(4, label=f"X({cur + 1})")
-            # Phase 4 (lines 35-43): rows owned by later processors; my X
-            # block is now new, which rows i > before+block need (j < i).
-            for i in range(before + block, m):
-                temp = float(A_loc[i, :] @ x_loc)
-                p.compute(2 * block, label=f"row {i + 1} partial")
-                v = yield from p.recv(left, tag=60)
-                v += temp
-                p.send(right, v, tag=60)
+        yield from _pipelined_sweep(
+            p, A_loc, b_loc, diag_loc, x_loc, omega, m, block, tx
+        )
 
     group = tuple(range(n))
-    blocks = yield from allgather(p, x_loc, group)
+    blocks = yield from allgather(p, x_loc, group, transport=transport)
     return np.concatenate([np.atleast_1d(blk) for blk in blocks])

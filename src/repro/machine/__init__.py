@@ -10,6 +10,8 @@ flop) and ``tc`` (time per transferred word) parameters.
 """
 
 from repro.machine.collectives import (
+    PLAIN_TRANSPORT,
+    Transport,
     allgather,
     allreduce,
     barrier,
@@ -20,13 +22,29 @@ from repro.machine.collectives import (
     shift,
 )
 from repro.machine.critpath import CriticalPathReport, PathStep, critical_path
-from repro.machine.engine import Engine, Proc, RunResult, run_spmd
+from repro.machine.engine import (
+    ACK_TAG_BASE,
+    TIMED_OUT,
+    Engine,
+    Proc,
+    RunResult,
+    run_spmd,
+)
 from repro.machine.export import (
     chrome_trace_json,
     match_messages,
     write_chrome_trace,
 )
+from repro.machine.faults import CrashFault, FaultPlan, FaultState, MessageFate
+from repro.machine.forensics import BlockedRank, DeadlockReport
 from repro.machine.metrics import GroupStats, Metrics, RankMetrics
+from repro.machine.resilient import (
+    CheckpointStore,
+    ReliableTransport,
+    ResilientResult,
+    RetryPolicy,
+    run_resilient,
+)
 from repro.machine.threaded import ThreadedEngine, run_spmd_threaded
 from repro.machine.model import MachineModel
 from repro.machine.topology import (
@@ -71,4 +89,19 @@ __all__ = [
     "allgather",
     "shift",
     "barrier",
+    "Transport",
+    "PLAIN_TRANSPORT",
+    "ACK_TAG_BASE",
+    "TIMED_OUT",
+    "FaultPlan",
+    "FaultState",
+    "CrashFault",
+    "MessageFate",
+    "DeadlockReport",
+    "BlockedRank",
+    "ReliableTransport",
+    "RetryPolicy",
+    "CheckpointStore",
+    "ResilientResult",
+    "run_resilient",
 ]

@@ -37,6 +37,33 @@ from repro.errors import CommunicationError
 from repro.machine.engine import Proc
 
 
+class Transport:
+    """Pluggable point-to-point layer underneath the collectives.
+
+    The base class forwards straight to the engine primitives
+    (:meth:`Proc.send` / :meth:`Proc.recv`); the resilience layer
+    substitutes :class:`repro.machine.resilient.ReliableTransport`, which
+    adds sequence numbers, ack waits and retransmission without the
+    collective algorithms changing at all.  Both methods are generators
+    and must be driven with ``yield from`` (a plain send completes
+    without yielding, but a reliable send parks waiting for its ack).
+    """
+
+    def send(
+        self, p: Proc, dest: int, data: Any, words: int | None = None, tag: int = 0
+    ) -> Generator[Any, None, None]:
+        p.send(dest, data, words=words, tag=tag)
+        return
+        yield  # unreachable; makes the plain send a generator too
+
+    def recv(self, p: Proc, source: int, tag: int = 0) -> Generator[Any, None, Any]:
+        return (yield from p.recv(source, tag=tag))
+
+
+#: Shared default transport (stateless).
+PLAIN_TRANSPORT = Transport()
+
+
 def _group_index(p: Proc, group: Sequence[int]) -> int:
     try:
         return group.index(p.rank)  # type: ignore[union-attr]
@@ -82,11 +109,13 @@ def bcast(
     root: int,
     group: Sequence[int],
     tag: int = 101,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """OneToManyMulticast: binomial-tree broadcast from *root* over *group*.
 
     Returns the broadcast value on every member.
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     root_idx = _root_index(group, root)
@@ -100,10 +129,10 @@ def bcast(
             if rel < k:
                 peer_rel = rel + k
                 if peer_rel < n:
-                    p.send(group[(peer_rel + root_idx) % n], value, tag=tag)
+                    yield from tx.send(p, group[(peer_rel + root_idx) % n], value, tag=tag)
             elif rel < 2 * k:
                 src_rel = rel - k
-                value = yield from p.recv(group[(src_rel + root_idx) % n], tag=tag)
+                value = yield from tx.recv(p, group[(src_rel + root_idx) % n], tag=tag)
             k *= 2
     return value
 
@@ -115,6 +144,7 @@ def reduce(
     group: Sequence[int],
     op: Callable[[Any, Any], Any] | None = None,
     tag: int = 102,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """Reduction: binomial-tree reduce to *root*; returns result at root.
 
@@ -122,6 +152,7 @@ def reduce(
     reductions); it must be associative and commutative (§2.2).
     Non-root members return ``None``.
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     root_idx = _root_index(group, root)
@@ -135,10 +166,10 @@ def reduce(
             if rel % (2 * k) == 0:
                 peer_rel = rel + k
                 if peer_rel < n:
-                    other = yield from p.recv(group[(peer_rel + root_idx) % n], tag=tag)
+                    other = yield from tx.recv(p, group[(peer_rel + root_idx) % n], tag=tag)
                     acc = _combine(acc, other, op, p)
             elif rel % (2 * k) == k:
-                p.send(group[(rel - k + root_idx) % n], acc, tag=tag)
+                yield from tx.send(p, group[(rel - k + root_idx) % n], acc, tag=tag)
                 return None
             k *= 2
     return acc if p.rank == root else None
@@ -150,6 +181,7 @@ def allreduce(
     group: Sequence[int],
     op: Callable[[Any, Any], Any] | None = None,
     tag: int = 103,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """Reduce to the group's first rank, then broadcast the result."""
     n = len(group)
@@ -158,8 +190,8 @@ def allreduce(
         return value
     root = group[0]
     with p.scoped("allreduce"):
-        partial = yield from reduce(p, value, root, group, op=op, tag=tag)
-        result = yield from bcast(p, partial, root, group, tag=tag + 1)
+        partial = yield from reduce(p, value, root, group, op=op, tag=tag, transport=transport)
+        result = yield from bcast(p, partial, root, group, tag=tag + 1, transport=transport)
     return result
 
 
@@ -169,11 +201,13 @@ def gather(
     root: int,
     group: Sequence[int],
     tag: int = 104,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, list[Any] | None]:
     """Gather: root receives one value per member, in group order.
 
     Root serializes the receives, giving the paper's O(m * num(seq)) cost.
     """
+    tx = transport or PLAIN_TRANSPORT
     _group_index(p, group)
     _root_index(group, root)
     if len(group) == 1:
@@ -185,10 +219,10 @@ def gather(
                 if member == root:
                     out.append(value)
                 else:
-                    item = yield from p.recv(member, tag=tag)
+                    item = yield from tx.recv(p, member, tag=tag)
                     out.append(item)
             return out
-        p.send(root, value, tag=tag)
+        yield from tx.send(p, root, value, tag=tag)
     return None
 
 
@@ -198,8 +232,10 @@ def scatter(
     root: int,
     group: Sequence[int],
     tag: int = 105,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """Scatter: root sends ``items[i]`` to the i-th group member."""
+    tx = transport or PLAIN_TRANSPORT
     _group_index(p, group)
     _root_index(group, root)
     if len(group) == 1:
@@ -218,9 +254,9 @@ def scatter(
                 if member == root:
                     mine = item
                 else:
-                    p.send(member, item, tag=tag)
+                    yield from tx.send(p, member, item, tag=tag)
             return mine
-        value = yield from p.recv(root, tag=tag)
+        value = yield from tx.recv(p, root, tag=tag)
     return value
 
 
@@ -229,12 +265,14 @@ def allgather(
     value: Any,
     group: Sequence[int],
     tag: int = 106,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, list[Any]]:
     """ManyToManyMulticast: ring allgather; returns values in group order.
 
     P-1 steps, each forwarding one block to the ring successor, for the
     paper's O(m * num(seq)) cost.
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     blocks: list[Any] = [None] * n
@@ -247,8 +285,8 @@ def allgather(
         for step in range(n - 1):
             send_idx = (me - step) % n
             recv_idx = (me - step - 1) % n
-            p.send(right, blocks[send_idx], tag=tag)
-            blocks[recv_idx] = yield from p.recv(left, tag=tag)
+            yield from tx.send(p, right, blocks[send_idx], tag=tag)
+            blocks[recv_idx] = yield from tx.recv(p, left, tag=tag)
     return blocks
 
 
@@ -258,12 +296,14 @@ def shift(
     group: Sequence[int],
     delta: int = 1,
     tag: int = 107,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """Shift: circular shift of data by *delta* positions along *group*.
 
     Every member sends to its ``+delta`` neighbor and receives from its
     ``-delta`` neighbor (paper's Shift along a grid dimension).
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     if n == 1 or delta % n == 0:
@@ -271,8 +311,8 @@ def shift(
     dest = group[(me + delta) % n]
     src = group[(me - delta) % n]
     with p.scoped("shift"):
-        p.send(dest, data, tag=tag)
-        received = yield from p.recv(src, tag=tag)
+        yield from tx.send(p, dest, data, tag=tag)
+        received = yield from tx.recv(p, src, tag=tag)
     return received
 
 
@@ -282,6 +322,7 @@ def affine_transform(
     group: Sequence[int],
     transform: Callable[[int], int],
     tag: int = 108,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, Any]:
     """AffineTransform: permutation exchange over *group*.
 
@@ -289,6 +330,7 @@ def affine_transform(
     bijection; each member sends its data to ``transform(position)`` and
     receives from the unique inverse position.
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     images = [transform(i) % n for i in range(n)]
@@ -300,9 +342,9 @@ def affine_transform(
         return data
     with p.scoped("affine"):
         if dest_idx != me:
-            p.send(group[dest_idx], data, tag=tag)
+            yield from tx.send(p, group[dest_idx], data, tag=tag)
         if src_idx != me:
-            data = yield from p.recv(group[src_idx], tag=tag)
+            data = yield from tx.recv(p, group[src_idx], tag=tag)
     return data
 
 
@@ -311,6 +353,7 @@ def exchange(
     sends: Sequence[tuple[int, Any]],
     recv_from: Sequence[int],
     tag: int = 110,
+    transport: Transport | None = None,
 ) -> Generator[Any, None, dict[int, Any]]:
     """Pairwise exchange: the irregular all-to-all building block.
 
@@ -322,13 +365,14 @@ def exchange(
     (sender, receiver) pair under one tag.  A self-pair is delivered
     locally without touching the network.
     """
+    tx = transport or PLAIN_TRANSPORT
     received: dict[int, Any] = {}
     with p.scoped("exchange"):
         for dest, payload in sends:
             if dest == p.rank:
                 received[dest] = payload
             else:
-                p.send(dest, payload, tag=tag)
+                yield from tx.send(p, dest, payload, tag=tag)
         for src in recv_from:
             if src == p.rank:
                 if src not in received:
@@ -336,22 +380,28 @@ def exchange(
                         f"P{p.rank} expects a self-payload it never posted"
                     )
                 continue
-            received[src] = yield from p.recv(src, tag=tag)
+            received[src] = yield from tx.recv(p, src, tag=tag)
     return received
 
 
-def barrier(p: Proc, group: Sequence[int], tag: int = 109) -> Generator[Any, None, None]:
+def barrier(
+    p: Proc,
+    group: Sequence[int],
+    tag: int = 109,
+    transport: Transport | None = None,
+) -> Generator[Any, None, None]:
     """Dissemination barrier: log P rounds of zero-word messages.
 
     After the barrier every member's clock is at least the group maximum at
     entry (clocks propagate through the message exchanges).
     """
+    tx = transport or PLAIN_TRANSPORT
     n = len(group)
     me = _group_index(p, group)
     with p.scoped("barrier"):
         k = 1
         while k < n:
-            p.send(group[(me + k) % n], None, tag=tag)
-            yield from p.recv(group[(me - k) % n], tag=tag)
+            yield from tx.send(p, group[(me + k) % n], None, tag=tag)
+            yield from tx.recv(p, group[(me - k) % n], tag=tag)
             k *= 2
     return None

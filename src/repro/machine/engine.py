@@ -17,10 +17,14 @@ Clock semantics (see :mod:`repro.machine.model`):
 
 Because sends never block and receives name their source, the simulated
 timestamps and all numeric results are independent of the engine's
-scheduling order — the simulation is deterministic.
+scheduling order — the simulation is deterministic.  Fault injection
+(:mod:`repro.machine.faults`) preserves this: message fates are pure
+functions of ``(seed, channel, attempt)``, so a seeded crash-free plan
+moves clocks but never payloads.
 
 The engine detects deadlock (every live processor blocked on an empty
-channel) and raises :class:`repro.errors.DeadlockError`.
+channel) and raises :class:`repro.errors.DeadlockError` carrying a
+:class:`repro.machine.forensics.DeadlockReport`.
 """
 
 from __future__ import annotations
@@ -28,12 +32,19 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable, Generator, Iterator
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 import numpy as np
 
-from repro.errors import CommunicationError, DeadlockError, MachineError
+from repro.errors import (
+    CommunicationError,
+    DeadlockError,
+    MachineError,
+    RankCrashedError,
+)
+from repro.machine.faults import FaultPlan, FaultState
+from repro.machine.forensics import RECENT_EVENTS, build_report
 from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
@@ -41,19 +52,52 @@ from repro.machine.trace import TraceEvent
 
 Channel = tuple[int, int, int]  # (source, dest, tag)
 
+#: Tag offset for engine-synthesized acknowledgements of reliable sends.
+#: Program tags must stay below this; the reliable layer listens on
+#: ``ACK_TAG_BASE + tag`` for the ack of a data message sent on ``tag``.
+ACK_TAG_BASE = 1 << 20
 
-def _payload_words(data: Any) -> int:
-    """Number of machine words a payload occupies on the wire."""
+
+class _TimedOut:
+    """Singleton sentinel returned by :meth:`Proc.recv_deadline` on timeout."""
+
+    _instance = None
+
+    def __new__(cls) -> "_TimedOut":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TIMED_OUT = _TimedOut()
+
+
+def _payload_words(data: Any, path: str = "payload") -> int:
+    """Number of machine words a payload occupies on the wire.
+
+    *path* names the location inside a nested container so that a
+    failure message can point at the offending key or index.
+    """
     if isinstance(data, np.ndarray):
         return int(data.size)
+    if isinstance(data, (bool, np.bool_)):
+        return 1
     if isinstance(data, (int, float, complex, np.integer, np.floating)):
         return 1
+    if isinstance(data, dict):
+        return sum(_payload_words(v, f"{path}[{k!r}]") for k, v in data.items())
     if isinstance(data, (tuple, list)):
-        return sum(_payload_words(item) for item in data)
+        return sum(_payload_words(item, f"{path}[{i}]") for i, item in enumerate(data))
     if data is None:
         return 0
     raise CommunicationError(
-        f"cannot infer word count for payload of type {type(data).__name__}; pass words="
+        f"cannot infer word count for {path} of type {type(data).__name__}; pass words="
     )
 
 
@@ -61,6 +105,8 @@ def _payload_copy(data: Any) -> Any:
     """Snapshot a payload so later sender-side mutation cannot corrupt it."""
     if isinstance(data, np.ndarray):
         return data.copy()
+    if isinstance(data, dict):
+        return {key: _payload_copy(value) for key, value in data.items()}
     if isinstance(data, list):
         return [_payload_copy(item) for item in data]
     if isinstance(data, tuple):
@@ -77,6 +123,8 @@ class _Message:
     source: int
     dest: int
     tag: int
+    seq: int | None = None  # sequence number of reliable transfers
+    system: bool = False  # engine-synthesized (acks): excluded from counters
 
 
 @dataclass
@@ -92,7 +140,9 @@ class RunResult:
     makespan:
         ``max(finish_times)`` — the paper's "total execution time".
     message_count / message_words:
-        Aggregate communication volume.
+        Aggregate communication volume (program messages only; the acks
+        synthesized for reliable transfers are accounted in
+        ``metrics.faults`` instead).
     trace:
         Per-rank event lists (only when tracing was enabled).
     metrics:
@@ -154,39 +204,103 @@ class Proc:
         finally:
             self.scope = prev
 
+    # -- fault hooks ------------------------------------------------------
+    def _scaled(self, seconds: float) -> float:
+        """Apply this rank's injected slowdown factor to a local duration."""
+        faults = self._engine.faults
+        return seconds if faults is None else seconds * faults.slowdown(self.rank)
+
+    def _maybe_crash(self) -> None:
+        """Fire a pending injected crash once the local clock reaches it."""
+        faults = self._engine.faults
+        if faults is None:
+            return
+        crash = faults.crash_due(self.rank, self.clock)
+        if crash is not None:
+            self._engine.record(
+                self.rank, "fault", self.clock, self.clock, detail="crash",
+                scope=self.scope,
+            )
+            raise RankCrashedError(crash.rank, crash.at_time)
+
+    def mark(self, detail: str, peer: int | None = None, tag: int = 0) -> None:
+        """Record a zero-duration resilience marker (``fault`` event).
+
+        Used by the reliable-transfer and checkpoint layers to surface
+        ``retry`` / ``checkpoint`` / ``restore`` events into
+        :attr:`Metrics.faults` and the Chrome-trace export.
+        """
+        self._engine.record(
+            self.rank, "fault", self.clock, self.clock, peer=peer, tag=tag,
+            detail=detail, scope=self.scope,
+        )
+
     # -- local work -------------------------------------------------------
     def compute(self, flops: float, label: str = "") -> None:
         """Account *flops* floating-point operations of local work."""
         if flops < 0:
             raise MachineError(f"negative flops: {flops}")
         start = self.clock
-        self.clock += self._engine.model.flops(flops)
+        self.clock += self._scaled(self._engine.model.flops(flops))
         self._engine.record(
             self.rank, "compute", start, self.clock, detail=label, words=0, scope=self.scope
         )
+        self._maybe_crash()
 
     def delay(self, seconds: float, label: str = "") -> None:
         """Advance the local clock by raw simulated seconds."""
         if seconds < 0:
             raise MachineError(f"negative delay: {seconds}")
         start = self.clock
-        self.clock += seconds
+        self.clock += self._scaled(seconds)
         self._engine.record(
             self.rank, "delay", start, self.clock, detail=label, words=0, scope=self.scope
         )
+        self._maybe_crash()
 
     # -- point-to-point ---------------------------------------------------
-    def send(self, dest: int, data: Any, words: int | None = None, tag: int = 0) -> None:
-        """Buffered non-blocking send (plain call — do *not* ``yield from``)."""
-        self._engine.topology.check_rank(dest)
-        if dest == self.rank:
-            raise CommunicationError(f"P{self.rank} attempted to send to itself")
+    def _check_channel(self, peer: int, tag: int, sending: bool) -> None:
+        """Validate a point-to-point endpoint; identical in both backends."""
+        verb = "send to" if sending else "receive from"
+        if isinstance(peer, bool) or not isinstance(peer, (int, np.integer)):
+            raise CommunicationError(
+                f"P{self.rank} cannot {verb} rank {peer!r}: rank must be an integer"
+            )
+        nprocs = self._engine.topology.size
+        if not 0 <= peer < nprocs:
+            raise CommunicationError(
+                f"P{self.rank} cannot {verb} rank {int(peer)}: "
+                f"valid ranks are 0..{nprocs - 1}"
+            )
+        if peer == self.rank:
+            raise CommunicationError(f"P{self.rank} attempted to {verb} itself")
+        if tag < 0:
+            raise CommunicationError(
+                f"P{self.rank} cannot {verb} P{int(peer)} with negative tag {tag}"
+            )
+
+    def send(
+        self,
+        dest: int,
+        data: Any,
+        words: int | None = None,
+        tag: int = 0,
+        *,
+        seq: int | None = None,
+    ) -> None:
+        """Buffered non-blocking send (plain call — do *not* ``yield from``).
+
+        *seq* marks the message as reliable traffic: the engine assigns
+        sequence-number deduplication and synthesizes an ack on
+        ``ACK_TAG_BASE + tag`` (see :mod:`repro.machine.resilient`).
+        """
+        self._check_channel(dest, tag, sending=True)
         nwords = _payload_words(data) if words is None else int(words)
         if nwords < 0:
             raise CommunicationError(f"negative message size {nwords}")
         model = self._engine.model
         start = self.clock
-        self.clock += model.send_occupancy(nwords)
+        self.clock += self._scaled(model.send_occupancy(nwords))
         hops = self._engine.topology.hops(self.rank, dest)
         available = self.clock + model.wire_latency(nwords, hops)
         msg = _Message(
@@ -197,12 +311,165 @@ class Proc:
             source=self.rank,
             dest=dest,
             tag=tag,
+            seq=seq,
         )
-        self._engine.deliver(msg)
+        # Record the send before dispatching: dispatch may append
+        # zero-duration fault markers at the send's end time, and lanes
+        # must stay time-ordered for the critical-path walker.
         self._engine.record(
             self.rank, "send", start, self.clock, peer=dest, words=nwords, tag=tag,
             scope=self.scope,
         )
+        self._dispatch(msg)
+        self._maybe_crash()
+
+    def _dispatch(self, msg: _Message) -> None:
+        """Route one message copy through the fault plan, then commit it.
+
+        Runs entirely on the sending rank (synchronously inside ``send``),
+        so the per-channel attempt counters and dedup state the engine
+        keeps are confined to one thread per channel — no locks needed
+        beyond the engine's own delivery lock in the threaded backend.
+        """
+        engine = self._engine
+        faults = engine.faults
+        if faults is None:
+            self._commit(msg)
+            return
+        channel: Channel = (msg.source, msg.dest, msg.tag)
+        attempt = engine.next_attempt(channel)
+        fate = faults.fate(
+            msg.source, msg.dest, msg.tag, attempt,
+            reliable=msg.seq is not None, is_ack=msg.system,
+        )
+        prefix = "ack-" if msg.system else ""
+        if fate.drop:
+            engine.record(
+                self.rank, "fault", self.clock, self.clock, peer=msg.dest,
+                tag=msg.tag, detail=f"{prefix}drop", scope=self.scope,
+            )
+            return
+        if fate.delay > 0.0:
+            msg.available += fate.delay
+            engine.record(
+                self.rank, "fault", self.clock, self.clock, peer=msg.dest,
+                tag=msg.tag, detail=f"{prefix}delay", scope=self.scope,
+            )
+        self._commit(msg)
+        if fate.duplicate:
+            engine.record(
+                self.rank, "fault", self.clock, self.clock, peer=msg.dest,
+                tag=msg.tag, detail="duplicate", scope=self.scope,
+            )
+            self._commit(replace(msg, data=_payload_copy(msg.data)))
+
+    def _commit(self, msg: _Message) -> None:
+        """Deliver one surviving copy, with receiver-side dedup and acks.
+
+        Reliable data messages (``seq`` set, not system) are deduplicated
+        per channel; a suppressed duplicate is still re-acked, otherwise a
+        sender whose ack was dropped would retry forever.
+        """
+        engine = self._engine
+        if msg.seq is None or msg.system:
+            engine.deliver(msg)
+            return
+        channel: Channel = (msg.source, msg.dest, msg.tag)
+        last = engine._reliable_last.get(channel, -1)
+        if msg.seq <= last:
+            engine.record(
+                self.rank, "fault", self.clock, self.clock, peer=msg.dest,
+                tag=msg.tag, detail="dup-suppressed", scope=self.scope,
+            )
+        else:
+            engine._reliable_last[channel] = msg.seq
+            engine.deliver(msg)
+        self._ack(msg)
+
+    def _ack(self, data_msg: _Message) -> None:
+        """Synthesize the hardware-level ack for a reliable data message.
+
+        The ack is a *system* message: it models the NIC acknowledging
+        receipt, costs no occupancy on either rank, is excluded from the
+        program's message counters, and becomes available one word-time
+        after the data did.  Acks themselves pass through the fault plan
+        (droppable, delayable) but are never duplicated or deduplicated.
+        """
+        model = self._engine.model
+        ack = _Message(
+            data=data_msg.seq,
+            words=1,
+            available=data_msg.available + model.words(1),
+            sent_at=data_msg.available,
+            source=data_msg.dest,
+            dest=data_msg.source,
+            tag=ACK_TAG_BASE + data_msg.tag,
+            seq=data_msg.seq,
+            system=True,
+        )
+        self._engine.record(
+            self.rank, "fault", self.clock, self.clock, peer=data_msg.dest,
+            tag=data_msg.tag, detail="ack", scope=self.scope,
+        )
+        self._dispatch(ack)
+
+    def _timeout(
+        self, block_start: float, source: int, tag: int, deadline: float
+    ) -> Any:
+        """Account a timed receive that expired: idle until the deadline."""
+        engine = self._engine
+        if deadline > block_start:
+            engine.record(
+                self.rank, "wait", block_start, deadline, peer=source, words=0,
+                tag=tag, scope=self.scope,
+            )
+        self.clock = max(self.clock, deadline)
+        engine.record(
+            self.rank, "fault", self.clock, self.clock, peer=source, tag=tag,
+            detail="timeout", scope=self.scope,
+        )
+        self._maybe_crash()
+        return TIMED_OUT
+
+    def _recv_impl(
+        self, source: int, tag: int, deadline: float | None
+    ) -> Generator[Any, None, Any]:
+        """Shared receive loop; parks by yielding ``(channel, deadline)``."""
+        channel: Channel = (source, self.rank, tag)
+        block_start = self.clock
+        engine = self._engine
+        msg: _Message | None = None
+        while msg is None:
+            if deadline is None:
+                msg = engine.try_pop(channel)
+                if msg is not None:
+                    break
+            else:
+                if engine.consume_timeout(self.rank):
+                    return self._timeout(block_start, source, tag, deadline)
+                status, popped = engine.try_pop_before(channel, deadline)
+                if status == "msg":
+                    msg = popped
+                    break
+                if status == "late":
+                    # A message exists but arrives after the deadline:
+                    # the timeout fires first in simulated time.
+                    return self._timeout(block_start, source, tag, deadline)
+            yield (channel, deadline)  # parked by the engine until a send arrives
+        model = engine.model
+        arrival = max(block_start, msg.available)
+        if arrival > block_start:
+            engine.record(
+                self.rank, "wait", block_start, arrival, peer=source, words=msg.words,
+                tag=tag, scope=self.scope,
+            )
+        self.clock = arrival + self._scaled(model.recv_occupancy(msg.words))
+        engine.record(
+            self.rank, "recv", arrival, self.clock, peer=source, words=msg.words, tag=tag,
+            scope=self.scope,
+        )
+        self._maybe_crash()
+        return msg.data
 
     def recv(self, source: int, tag: int = 0) -> Generator[Any, None, Any]:
         """Blocking receive — use as ``value = yield from p.recv(source)``.
@@ -212,29 +479,23 @@ class Proc:
         when the message was already there), and only the receiver
         occupancy (drain) is recorded as the ``recv`` event.
         """
-        self._engine.topology.check_rank(source)
-        if source == self.rank:
-            raise CommunicationError(f"P{self.rank} attempted to receive from itself")
-        channel: Channel = (source, self.rank, tag)
-        block_start = self.clock
-        while True:
-            msg = self._engine.try_pop(channel)
-            if msg is not None:
-                break
-            yield channel  # parked by the engine until a send arrives
-        model = self._engine.model
-        arrival = max(block_start, msg.available)
-        if arrival > block_start:
-            self._engine.record(
-                self.rank, "wait", block_start, arrival, peer=source, words=msg.words,
-                tag=tag, scope=self.scope,
-            )
-        self.clock = arrival + model.recv_occupancy(msg.words)
-        self._engine.record(
-            self.rank, "recv", arrival, self.clock, peer=source, words=msg.words, tag=tag,
-            scope=self.scope,
-        )
-        return msg.data
+        self._check_channel(source, tag, sending=False)
+        return (yield from self._recv_impl(source, tag, None))
+
+    def recv_deadline(
+        self, source: int, tag: int = 0, *, deadline: float
+    ) -> Generator[Any, None, Any]:
+        """Receive with a simulated-time deadline.
+
+        Returns the payload, or the :data:`TIMED_OUT` sentinel if no
+        matching message becomes available by *deadline* — in which case
+        the local clock advances to the deadline.  This is the primitive
+        the reliable-transfer layer builds ack-wait/retry on.
+        """
+        self._check_channel(source, tag, sending=False)
+        if deadline < self.clock:
+            deadline = self.clock
+        return (yield from self._recv_impl(source, tag, deadline))
 
     def probe(self, source: int, tag: int = 0) -> bool:
         """True when a matching message is already queued (no time cost)."""
@@ -249,17 +510,28 @@ class Engine:
         topology: Topology,
         model: MachineModel | None = None,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.topology = topology
         self.model = model or MachineModel()
         self.procs = [Proc(self, r) for r in range(topology.size)]
         self._queues: dict[Channel, deque[_Message]] = {}
         self._waiting: dict[Channel, int] = {}  # channel -> parked rank
+        self._runnable: deque[int] = deque()
         self.message_count = 0
         self.message_words = 0
         self._tracing = trace
         self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
         self.metrics = Metrics(topology.size)
+        self.fault_plan = faults
+        self.faults: FaultState | None = None
+        self._timed: dict[int, float] = {}  # parked rank -> recv deadline
+        self._timeout_fired: set[int] = set()
+        self._send_attempts: dict[Channel, int] = {}
+        self._reliable_last: dict[Channel, int] = {}
+        self._recent: list[deque] = [
+            deque(maxlen=RECENT_EVENTS) for _ in range(topology.size)
+        ]
 
     def _reset_run_state(self) -> None:
         """Start every :meth:`run` from a clean slate.
@@ -274,19 +546,30 @@ class Engine:
             proc.scope = ""
         self._queues = {}
         self._waiting = {}
+        self._runnable = deque()
         self.message_count = 0
         self.message_words = 0
         self.trace = [[] for _ in self.procs]
         self.metrics = Metrics(self.topology.size)
+        self.faults = (
+            FaultState(self.fault_plan) if self.fault_plan is not None else None
+        )
+        self._timed = {}
+        self._timeout_fired = set()
+        self._send_attempts = {}
+        self._reliable_last = {}
+        self._recent = [deque(maxlen=RECENT_EVENTS) for _ in self.procs]
 
     # -- messaging ------------------------------------------------------
     def deliver(self, msg: _Message) -> None:
         channel: Channel = (msg.source, msg.dest, msg.tag)
         self._queues.setdefault(channel, deque()).append(msg)
-        self.message_count += 1
-        self.message_words += msg.words
+        if not msg.system:
+            self.message_count += 1
+            self.message_words += msg.words
         parked = self._waiting.pop(channel, None)
         if parked is not None:
+            self._timed.pop(parked, None)
             self._runnable.append(parked)
 
     def try_pop(self, channel: Channel) -> _Message | None:
@@ -295,9 +578,40 @@ class Engine:
             return None
         return queue.popleft()
 
+    def try_pop_before(
+        self, channel: Channel, deadline: float
+    ) -> tuple[str, _Message | None]:
+        """Pop the FIFO head only if it arrives by *deadline*.
+
+        Returns ``("msg", message)``, ``("empty", None)`` when nothing is
+        queued, or ``("late", None)`` when the head exists but becomes
+        available only after the deadline — in simulated time the timeout
+        fires first, so the receiver must not consume it yet.
+        """
+        queue = self._queues.get(channel)
+        if not queue:
+            return "empty", None
+        if queue[0].available <= deadline:
+            return "msg", queue.popleft()
+        return "late", None
+
     def has_message(self, channel: Channel) -> bool:
         queue = self._queues.get(channel)
         return bool(queue)
+
+    # -- fault bookkeeping ----------------------------------------------
+    def next_attempt(self, channel: Channel) -> int:
+        """Per-channel attempt counter feeding the fault plan's RNG."""
+        attempt = self._send_attempts.get(channel, 0)
+        self._send_attempts[channel] = attempt + 1
+        return attempt
+
+    def consume_timeout(self, rank: int) -> bool:
+        """Check-and-clear the 'your timed receive expired' flag."""
+        if rank in self._timeout_fired:
+            self._timeout_fired.discard(rank)
+            return True
+        return False
 
     def record(
         self,
@@ -312,8 +626,10 @@ class Engine:
         scope: str = "",
     ) -> None:
         self.metrics.observe(
-            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope
+            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope,
+            detail=detail,
         )
+        self._recent[rank].append((kind, start, end, peer, tag, detail))
         if self._tracing:
             self.trace[rank].append(
                 TraceEvent(
@@ -328,6 +644,41 @@ class Engine:
                     scope=scope,
                 )
             )
+
+    # -- forensics -------------------------------------------------------
+    def _deadlock(self) -> DeadlockError:
+        blocked = {
+            rank: f"recv(source={ch[0]}, tag={ch[2]})"
+            for ch, rank in self._waiting.items()
+        }
+        report = build_report(
+            nprocs=len(self.procs),
+            waiting=self._waiting,
+            clocks=[p.clock for p in self.procs],
+            timed=dict(self._timed),
+            recent=self._recent,
+        )
+        return DeadlockError(blocked, report=report)
+
+    def _fire_earliest_timeout(self) -> bool:
+        """Wake the timed waiter with the smallest deadline, if any.
+
+        Only called when the machine has globally stalled, so no future
+        send can beat the deadline — firing the earliest timeout is then
+        the unique next event in simulated time, which keeps the timeout
+        semantics identical across backends and scheduling orders.
+        """
+        if not self._timed:
+            return False
+        rank = min(self._timed, key=lambda r: (self._timed[r], r))
+        del self._timed[rank]
+        for channel, waiter in list(self._waiting.items()):
+            if waiter == rank:
+                del self._waiting[channel]
+                break
+        self._timeout_fired.add(rank)
+        self._runnable.append(rank)
+        return True
 
     # -- scheduler --------------------------------------------------------
     def run(
@@ -352,23 +703,22 @@ class Engine:
             else:
                 gens.append(result)
 
-        self._runnable: deque[int] = deque(
+        self._runnable = deque(
             rank for rank, gen in enumerate(gens) if gen is not None
         )
         live = len(self._runnable)
 
         while live:
             if not self._runnable:
-                blocked = {
-                    rank: f"recv(source={ch[0]}, tag={ch[2]})"
-                    for ch, rank in self._waiting.items()
-                }
-                raise DeadlockError(blocked)
+                # Global stall: the only way forward is an expired timed
+                # receive; with none pending this is a true deadlock.
+                if not self._fire_earliest_timeout():
+                    raise self._deadlock()
             rank = self._runnable.popleft()
             gen = gens[rank]
             assert gen is not None
             try:
-                channel = next(gen)
+                channel, deadline = next(gen)
             except StopIteration as stop:
                 values[rank] = stop.value
                 gens[rank] = None
@@ -383,6 +733,8 @@ class Engine:
                         f"two processors waiting on the same channel {channel}"
                     )
                 self._waiting[channel] = rank
+                if deadline is not None:
+                    self._timed[rank] = deadline
 
         return RunResult(
             values=values,
@@ -402,6 +754,7 @@ def run_spmd(
     kwargs: dict | None = None,
     per_rank_args: list[tuple] | None = None,
     trace: bool = False,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Convenience front end: build an :class:`Engine` and run *program*.
 
@@ -412,6 +765,9 @@ def run_spmd(
     per_rank_args:
         Optional per-rank positional arguments (e.g. scattered input
         blocks); overrides *args* when given.
+    faults:
+        Optional :class:`repro.machine.faults.FaultPlan` injected at the
+        send/deliver layer (see ``docs/RESILIENCE.md``).
     """
-    engine = Engine(topology, model=model, trace=trace)
+    engine = Engine(topology, model=model, trace=trace, faults=faults)
     return engine.run(program, args=args, kwargs=kwargs, per_rank_args=per_rank_args)

@@ -76,6 +76,24 @@ def chrome_trace_events(
                 args["tag"] = e.tag
             if e.scope:
                 args["scope"] = e.scope
+            if e.kind == "fault":
+                # Zero-duration fault markers (drops, retries, crashes...)
+                # render as thread-scoped instant events — visible ticks
+                # on the rank's lane in Perfetto.
+                args["detail"] = e.detail
+                events.append(
+                    {
+                        "name": e.label(),
+                        "cat": "fault",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": e.start * TIME_SCALE,
+                        "pid": 0,
+                        "tid": e.rank,
+                        "args": args,
+                    }
+                )
+                continue
             events.append(
                 {
                     "name": e.label(),

@@ -81,6 +81,11 @@ class Metrics:
     by_kind: dict[str, GroupStats] = field(init=False, default_factory=dict)
     by_tag: dict[int, GroupStats] = field(init=False, default_factory=dict)
     by_collective: dict[str, GroupStats] = field(init=False, default_factory=dict)
+    #: Fault/resilience counters keyed by detail: ``drop``, ``delay``,
+    #: ``duplicate``, ``dup-suppressed``, ``ack``, ``ack-drop``,
+    #: ``ack-delay``, ``retry``, ``timeout``, ``crash``, ``checkpoint``,
+    #: ``restore``, ``restart`` (see docs/RESILIENCE.md).
+    faults: dict[str, int] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
@@ -97,9 +102,16 @@ class Metrics:
         words: int = 0,
         tag: int = 0,
         scope: str = "",
+        detail: str = "",
     ) -> None:
         duration = end - start
         r = self.ranks[rank]
+        if kind == "fault":
+            key = detail or "fault"
+            with self._lock:
+                self.faults[key] = self.faults.get(key, 0) + 1
+                self.by_kind.setdefault(kind, GroupStats()).add(duration)
+            return
         if kind == "compute":
             r.compute_seconds += duration
         elif kind == "delay":
@@ -210,12 +222,23 @@ class Metrics:
             table.add_row([key, s.events, f"{s.seconds:g}", s.messages, s.words])
         return table.render()
 
+    def fault_table(self) -> str:
+        table = Table(
+            ["fault", "count"],
+            title="Fault / resilience events",
+        )
+        for key in sorted(self.faults):
+            table.add_row([key, self.faults[key]])
+        return table.render()
+
     def summary(self) -> str:
         parts = [self.rank_table()]
         if self.by_collective:
             parts.append(self.collective_table())
         if self.by_tag:
             parts.append(self.tag_table())
+        if self.faults:
+            parts.append(self.fault_table())
         return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
@@ -250,4 +273,5 @@ class Metrics:
             "by_kind": {k: stats(v) for k, v in self.by_kind.items()},
             "by_tag": {str(k): stats(v) for k, v in self.by_tag.items()},
             "by_collective": {k: stats(v) for k, v in self.by_collective.items()},
+            "faults": dict(self.faults),
         }

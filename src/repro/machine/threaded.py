@@ -13,9 +13,19 @@ This stands in for what an mpi4py port would look like, without the MPI
 launcher awkwardness: ``run_spmd_threaded(prog, topology, model, ...)``
 is a drop-in replacement for :func:`repro.machine.engine.run_spmd`.
 
+Fault injection composes unchanged: message fates are pure functions of
+``(seed, channel, attempt)`` (see :mod:`repro.machine.faults`), and the
+per-channel attempt/dedup state the Proc layer keeps on the engine is
+only ever touched by the single sending thread of that channel.
+
 Deadlock handling: a watchdog flags the run when every live thread has
 been blocked on an empty channel for ``deadlock_timeout`` seconds and
-raises :class:`repro.errors.DeadlockError` in the caller.
+raises :class:`repro.errors.DeadlockError` (with a forensics report) in
+the caller.  Timed receives (:meth:`Proc.recv_deadline`) piggyback on
+the same global-stall detection: when the machine stalls, the timed
+waiter with the earliest simulated deadline fires instead of a deadlock
+— exactly the generator engine's rule, so both backends time out in the
+same simulated order.
 """
 
 from __future__ import annotations
@@ -25,8 +35,10 @@ from collections import deque
 from collections.abc import Callable, Generator
 from typing import Any
 
-from repro.errors import DeadlockError, MachineError
+from repro.errors import DeadlockError, MachineError, RankCrashedError
 from repro.machine.engine import Channel, Proc, RunResult, _Message
+from repro.machine.faults import FaultPlan, FaultState
+from repro.machine.forensics import RECENT_EVENTS, DeadlockReport, build_report
 from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
@@ -42,6 +54,7 @@ class ThreadedEngine:
         model: MachineModel | None = None,
         trace: bool = False,
         deadlock_timeout: float = 5.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.topology = topology
         self.model = model or MachineModel()
@@ -57,6 +70,19 @@ class ThreadedEngine:
         self._tracing = trace
         self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
         self.metrics = Metrics(topology.size, threadsafe=True)
+        self.fault_plan = faults
+        self.faults: FaultState | None = None
+        self._timed: dict[int, float] = {}  # waiting rank -> recv deadline
+        self._timeout_fired: set[int] = set()
+        # Attempt counters and reliable-dedup state are keyed by channel;
+        # each channel has exactly one sending rank, so each key is only
+        # ever touched by that rank's thread (GIL-atomic dict ops).
+        self._send_attempts: dict[Channel, int] = {}
+        self._reliable_last: dict[Channel, int] = {}
+        self._recent: list[deque] = [
+            deque(maxlen=RECENT_EVENTS) for _ in range(topology.size)
+        ]
+        self._deadlock_report: DeadlockReport | None = None
 
     def _reset_run_state(self) -> None:
         """Reset clocks, queues, counters and lanes before each run."""
@@ -70,14 +96,24 @@ class ThreadedEngine:
         self.message_words = 0
         self.trace = [[] for _ in self.procs]
         self.metrics = Metrics(self.topology.size, threadsafe=True)
+        self.faults = (
+            FaultState(self.fault_plan) if self.fault_plan is not None else None
+        )
+        self._timed = {}
+        self._timeout_fired = set()
+        self._send_attempts = {}
+        self._reliable_last = {}
+        self._recent = [deque(maxlen=RECENT_EVENTS) for _ in self.procs]
+        self._deadlock_report = None
 
     # -- messaging (same protocol the Proc handle expects) ----------------
     def deliver(self, msg: _Message) -> None:
         with self._cv:
             channel: Channel = (msg.source, msg.dest, msg.tag)
             self._queues.setdefault(channel, deque()).append(msg)
-            self.message_count += 1
-            self.message_words += msg.words
+            if not msg.system:
+                self.message_count += 1
+                self.message_words += msg.words
             self._cv.notify_all()
 
     def try_pop(self, channel: Channel):
@@ -87,9 +123,36 @@ class ThreadedEngine:
                 return None
             return queue.popleft()
 
+    def try_pop_before(
+        self, channel: Channel, deadline: float
+    ) -> tuple[str, _Message | None]:
+        """Locked counterpart of :meth:`Engine.try_pop_before`."""
+        with self._cv:
+            queue = self._queues.get(channel)
+            if not queue:
+                return "empty", None
+            if queue[0].available <= deadline:
+                return "msg", queue.popleft()
+            return "late", None
+
     def has_message(self, channel: Channel) -> bool:
         with self._cv:
             return bool(self._queues.get(channel))
+
+    # -- fault bookkeeping ------------------------------------------------
+    def next_attempt(self, channel: Channel) -> int:
+        """Per-channel attempt counter (thread-confined to the sender)."""
+        attempt = self._send_attempts.get(channel, 0)
+        self._send_attempts[channel] = attempt + 1
+        return attempt
+
+    def consume_timeout(self, rank: int) -> bool:
+        """Check-and-clear the 'your timed receive expired' flag."""
+        with self._cv:
+            if rank in self._timeout_fired:
+                self._timeout_fired.discard(rank)
+                return True
+            return False
 
     def record(
         self, rank: int, kind: str, start: float, end: float,
@@ -97,26 +160,54 @@ class ThreadedEngine:
         scope: str = "",
     ) -> None:
         self.metrics.observe(
-            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope
+            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope,
+            detail=detail,
         )
+        # Each rank appends only to its own lanes: no lock needed.
+        self._recent[rank].append((kind, start, end, peer, tag, detail))
         if self._tracing:
-            # Each rank appends only to its own lane: no lock needed.
             self.trace[rank].append(
                 TraceEvent(rank=rank, kind=kind, start=start, end=end,
                            peer=peer, words=words, tag=tag, detail=detail, scope=scope)
             )
 
+    # -- stall detection ---------------------------------------------------
     def _true_deadlock(self) -> bool:
-        """All live threads blocked *and* none has a pending message.
+        """All live threads blocked *and* none has a pending wake-up.
 
         Must be called with the condition lock held.  A thread whose
         message has already arrived but which has not yet woken up still
         counts as waiting, so emptiness of every waited channel is the
-        decisive test.
+        decisive test; a thread whose timeout has fired but which has not
+        resumed yet counts as *runnable*, so only one timed waiter fires
+        per stall (matching the generator engine's one-event-at-a-time
+        rule).
         """
         if len(self._wait_channels) < self._live:
             return False
+        if any(rank in self._timeout_fired for rank in self._wait_channels):
+            return False
         return all(not self._queues.get(ch) for ch in self._wait_channels.values())
+
+    def _fire_earliest_timeout_locked(self) -> int | None:
+        """Wake the timed waiter with the smallest deadline (lock held)."""
+        if not self._timed:
+            return None
+        rank = min(self._timed, key=lambda r: (self._timed[r], r))
+        del self._timed[rank]
+        self._timeout_fired.add(rank)
+        self._cv.notify_all()
+        return rank
+
+    def _build_report_locked(self) -> DeadlockReport:
+        waiting = {ch: rank for rank, ch in self._wait_channels.items()}
+        return build_report(
+            nprocs=len(self.procs),
+            waiting=waiting,
+            clocks=[p.clock for p in self.procs],
+            timed=dict(self._timed),
+            recent=self._recent,
+        )
 
     # -- scheduler ----------------------------------------------------------
     def run(
@@ -141,25 +232,52 @@ class ThreadedEngine:
                     return
                 while True:
                     try:
-                        channel = next(result)
+                        channel, deadline = next(result)
                     except StopIteration as stop:
                         values[rank] = stop.value
                         return
-                    # Blocked receive: wait until a message shows up.
+                    # Blocked receive: wait until a message shows up (or,
+                    # for timed receives, until the stall watchdog fires
+                    # this rank's deadline).
                     with self._cv:
                         self._wait_channels[rank] = channel
+                        if deadline is not None:
+                            self._timed[rank] = deadline
                         try:
                             while not self._queues.get(channel):
-                                if self._deadlocked or self._true_deadlock():
+                                if rank in self._timeout_fired:
+                                    break  # resume; recv will consume it
+                                if self._deadlocked:
+                                    raise DeadlockError(
+                                        {rank: f"recv(source={channel[0]}, "
+                                               f"tag={channel[2]})"}
+                                    )
+                                if self._true_deadlock():
+                                    # Global stall: an expired timed recv
+                                    # is the only way forward; none left
+                                    # means a true deadlock.
+                                    fired = self._fire_earliest_timeout_locked()
+                                    if fired is not None:
+                                        if fired == rank:
+                                            break
+                                        continue
                                     self._deadlocked = True
+                                    if self._deadlock_report is None:
+                                        self._deadlock_report = (
+                                            self._build_report_locked()
+                                        )
                                     self._cv.notify_all()
-                                    raise DeadlockError({rank: f"recv{channel}"})
+                                    raise DeadlockError(
+                                        {rank: f"recv(source={channel[0]}, "
+                                               f"tag={channel[2]})"}
+                                    )
                                 # A wait timeout alone is not a deadlock —
                                 # another thread may simply be computing;
                                 # loop and re-check the global condition.
                                 self._cv.wait(timeout=self._deadlock_timeout)
                         finally:
-                            del self._wait_channels[rank]
+                            self._wait_channels.pop(rank, None)
+                            self._timed.pop(rank, None)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
             finally:
@@ -177,16 +295,21 @@ class ThreadedEngine:
         for t in threads:
             t.join()
 
+        # Error priority: an injected crash is the root cause (consequent
+        # deadlocks in peers are collateral), then any other program
+        # error, then deadlock.
+        for e in errors:
+            if isinstance(e, RankCrashedError):
+                raise e
+        for e in errors:
+            if e is not None and not isinstance(e, DeadlockError):
+                raise e
         deadlocks = [e for e in errors if isinstance(e, DeadlockError)]
         if deadlocks:
             blocked: dict[int, str] = {}
-            for rank, e in enumerate(errors):
-                if isinstance(e, DeadlockError):
-                    blocked.update(e.blocked)
-            raise DeadlockError(blocked)
-        for e in errors:
-            if e is not None:
-                raise e
+            for e in deadlocks:
+                blocked.update(e.blocked)
+            raise DeadlockError(blocked, report=self._deadlock_report)
 
         return RunResult(
             values=values,
@@ -207,6 +330,7 @@ def run_spmd_threaded(
     per_rank_args: list[tuple] | None = None,
     trace: bool = False,
     deadlock_timeout: float = 5.0,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Drop-in threaded counterpart of :func:`repro.machine.run_spmd`."""
     if topology.size > 256:
@@ -214,6 +338,7 @@ def run_spmd_threaded(
             f"threaded backend capped at 256 threads, got {topology.size}"
         )
     engine = ThreadedEngine(
-        topology, model=model, trace=trace, deadlock_timeout=deadlock_timeout
+        topology, model=model, trace=trace, deadlock_timeout=deadlock_timeout,
+        faults=faults,
     )
     return engine.run(program, args=args, kwargs=kwargs, per_rank_args=per_rank_args)

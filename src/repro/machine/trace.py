@@ -7,8 +7,10 @@ from dataclasses import dataclass
 from repro.util.tables import Table
 
 #: Event kinds in glyph-priority order (highest first): when two events
-#: share a gantt cell, the earlier kind in this tuple wins.
-KINDS = ("compute", "delay", "send", "recv", "wait")
+#: share a gantt cell, the earlier kind in this tuple wins.  ``fault``
+#: events are zero-duration markers emitted by the fault-injection layer
+#: (drops, delays, retries, crashes — see :mod:`repro.machine.faults`).
+KINDS = ("fault", "compute", "delay", "send", "recv", "wait")
 
 
 @dataclass(frozen=True)
@@ -51,6 +53,8 @@ class TraceEvent:
             return f"recv<-{self.peer}({self.words}w)"
         if self.kind == "wait":
             return f"wait<-{self.peer}"
+        if self.kind == "fault":
+            return f"fault:{self.detail or '?'}"
         return self.kind
 
 
@@ -92,9 +96,14 @@ def trace_table(
 
 
 #: Gantt glyphs; priority resolves overlaps deterministically
-#: (compute/delay > send > recv > wait).
-_GANTT_GLYPHS = {"compute": "#", "delay": "#", "send": ">", "recv": "<", "wait": "~"}
-_GANTT_PRIORITY = {"compute": 4, "delay": 4, "send": 3, "recv": 2, "wait": 1}
+#: (fault > compute/delay > send > recv > wait) — a fault marker must
+#: stay visible even when it lands inside a busy interval.
+_GANTT_GLYPHS = {
+    "compute": "#", "delay": "#", "send": ">", "recv": "<", "wait": "~", "fault": "!",
+}
+_GANTT_PRIORITY = {
+    "compute": 4, "delay": 4, "send": 3, "recv": 2, "wait": 1, "fault": 5,
+}
 
 
 def gantt(

@@ -24,6 +24,18 @@ With ``--redist``, runs Algorithm 1 on the Fig 3 Jacobi program
 message traffic on both engines, and prints the calibration table —
 analytic vs measured words per transition with the documented slack band.
 Exits nonzero if any transition misses the band or lands wrong sections.
+
+With ``--chaos``, runs the resilient Jacobi kernel on both backends under
+a seeded :class:`~repro.machine.faults.FaultPlan` (delays, drops,
+duplicates, a rank slowdown) and checks the determinism contract — the
+chaotic result must be bit-identical to the fault-free run — then injects
+a mid-run crash and shows checkpoint/restart re-convergence, printing the
+fault/resilience counters per backend.  Exits nonzero on any mismatch.
+
+With ``--deadlock``, forces a ring-recv deadlock on both backends and
+prints the forensics report (blocked ranks, waited channels, wait-for
+cycles, recent per-rank events), verifying both backends name every
+blocked rank.
 """
 
 from __future__ import annotations
@@ -336,6 +348,140 @@ def redist_report(outdir: pathlib.Path | None = None) -> int:
     return status
 
 
+def chaos_report(outdir: pathlib.Path | None = None) -> int:
+    """Chaos smoke: seeded faults + crash/restart on both backends."""
+    from repro.kernels import resilient_jacobi
+    from repro.machine import CheckpointStore, run_spmd_threaded, run_resilient
+    from repro.machine.faults import FaultPlan
+
+    m, n, iters = 24, 8, 6
+    A, b, _ = make_spd_system(m, seed=7)
+    x0 = np.zeros(m)
+    topo = Ring(n)
+    plan = FaultPlan(
+        seed=42,
+        delay_prob=0.15,
+        delay_max=60.0,
+        drop_prob=0.08,
+        duplicate_prob=0.08,
+        slowdown=((3, 1.5),),
+    )
+    print(f"\n{'=' * 72}\nchaos smoke — resilient Jacobi, m={m}, N={n}, "
+          f"{iters} iterations\n{'=' * 72}")
+    print(f"plan: {plan}\n")
+
+    base = run_spmd(resilient_jacobi, topo, args=(A, b, x0, iters))
+    runs = {
+        "engine": run_spmd(resilient_jacobi, topo, args=(A, b, x0, iters),
+                           faults=plan),
+        "threaded": run_spmd_threaded(resilient_jacobi, topo,
+                                      args=(A, b, x0, iters), faults=plan),
+    }
+    status = 0
+    table = Table(
+        ["backend", "bit-identical", "makespan", "retries", "drops", "dups",
+         "timeouts"],
+        title="determinism contract under the crash-free plan",
+    )
+    payload: dict = {"plan_seed": plan.seed, "backends": {}}
+    for name, res in runs.items():
+        identical = all(
+            np.array_equal(a, c) for a, c in zip(base.values, res.values)
+        )
+        if not identical:
+            status = 1
+        f = res.metrics.faults
+        table.add_row([
+            name, "yes" if identical else "NO", f"{res.makespan:g}",
+            f.get("retry", 0), f.get("drop", 0), f.get("duplicate", 0),
+            f.get("timeout", 0),
+        ])
+        payload["backends"][name] = {
+            "bit_identical": identical,
+            "makespan": res.makespan,
+            "faults": dict(f),
+        }
+    print(table.render())
+
+    # Past the halfway point of the *chaotic* run, so at least one
+    # checkpoint interval has completed on every rank before the crash.
+    crash_at = runs["engine"].makespan * 0.6
+    crash_plan = plan.with_crash(2, at_time=crash_at)
+    print(f"\ninjecting crash(rank=2, at_time={crash_at:g}) "
+          f"with checkpoint interval 2:")
+    table = Table(
+        ["backend", "re-converged", "restarts", "checkpoints", "restores",
+         "crashes"],
+        title="checkpoint/restart across an injected crash",
+    )
+    for name in runs:
+        store = CheckpointStore(n)
+        res = run_resilient(
+            resilient_jacobi, topo, args=(A, b, x0, iters),
+            kwargs={"checkpoints": store, "interval": 2},
+            plan=crash_plan, backend=name,
+        )
+        ok = all(np.array_equal(a, c) for a, c in zip(base.values, res.values))
+        f = res.metrics.faults
+        if not ok or res.restarts < 1 or not f.get("restore"):
+            status = 1
+        table.add_row([
+            name, "yes" if ok else "NO", res.restarts,
+            f.get("checkpoint", 0), f.get("restore", 0), f.get("crash", 0),
+        ])
+        payload["backends"][name]["crash"] = {
+            "re_converged": ok,
+            "restarts": res.restarts,
+            "faults": dict(f),
+        }
+    print(table.render())
+    print(f"\nchaos smoke {'PASSED' if status == 0 else 'FAILED'}")
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload["ok"] = status == 0
+        path = outdir / "chaos_smoke.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+    return status
+
+
+def deadlock_report() -> int:
+    """Force a ring-recv deadlock and print the forensics on both backends."""
+    from repro.errors import DeadlockError
+    from repro.machine import run_spmd_threaded
+
+    n = 4
+
+    def ring_wait(p):
+        # Everyone receives from the left neighbour; nobody ever sends.
+        yield from p.recv((p.rank - 1) % p.nprocs, tag=9)
+
+    print(f"\n{'=' * 72}\ndeadlock forensics — {n}-rank receive ring, "
+          f"no sender\n{'=' * 72}")
+    status = 0
+    for name, runner in (("engine", run_spmd),
+                         ("threaded", run_spmd_threaded)):
+        try:
+            runner(ring_wait, Ring(n))
+        except DeadlockError as err:
+            report = err.report
+            print(f"\n--- {name} backend ---")
+            if report is None:
+                print("no forensics report attached!")
+                status = 1
+                continue
+            print(report.describe())
+            if set(report.blocked_ranks()) != set(range(n)):
+                print(f"FAILED: expected all {n} ranks blocked, "
+                      f"got {report.blocked_ranks()}")
+                status = 1
+        else:
+            print(f"{name}: expected DeadlockError, none raised")
+            status = 1
+    print(f"\ndeadlock forensics {'PASSED' if status == 0 else 'FAILED'}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.report", description=__doc__
@@ -347,6 +493,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--redist", action="store_true",
                         help="execute Algorithm 1's chosen redistribution chain "
                              "and reconcile measured vs analytic words")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos smoke: seeded fault plan + crash/"
+                             "restart on both backends, exit nonzero on any "
+                             "determinism or re-convergence failure")
+    parser.add_argument("--deadlock", action="store_true",
+                        help="force a ring-recv deadlock on both backends and "
+                             "print the forensics report")
     parser.add_argument("--out", default=None,
                         help="output directory (alias for outdir)")
     ns = parser.parse_args(argv)
@@ -355,6 +508,10 @@ def main(argv: list[str] | None = None) -> int:
         return trace_report(ns.trace, outdir)
     if ns.redist:
         return redist_report(outdir)
+    if ns.chaos:
+        return chaos_report(outdir)
+    if ns.deadlock:
+        return deadlock_report()
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
     for name, builder in SECTIONS:

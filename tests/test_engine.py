@@ -28,6 +28,37 @@ class TestPayloadWords:
         with pytest.raises(CommunicationError):
             _payload_words(object())
 
+    def test_bool(self):
+        assert _payload_words(True) == 1
+        assert _payload_words(np.bool_(False)) == 1
+
+    def test_dict(self):
+        assert _payload_words({"x": np.zeros(4), "flag": True, "n": 2}) == 6
+        assert _payload_words({}) == 0
+
+    def test_nested_dict_failure_names_offending_key(self):
+        with pytest.raises(CommunicationError) as err:
+            _payload_words({"meta": {"bad": object()}})
+        assert "payload['meta']['bad']" in str(err.value)
+        assert "object" in str(err.value)
+
+    def test_nested_list_failure_names_offending_index(self):
+        with pytest.raises(CommunicationError) as err:
+            _payload_words([1.0, (2.0, object())])
+        assert "payload[1][1]" in str(err.value)
+
+    def test_dict_payload_round_trips(self, unit_model):
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, {"x": np.arange(3.0), "ok": True})
+                return None
+            got = yield from p.recv(0)
+            return got
+
+        got = run_spmd(prog, Ring(2), unit_model).value(1)
+        assert got["ok"] is True
+        np.testing.assert_array_equal(got["x"], np.arange(3.0))
+
 
 class TestPointToPoint:
     def test_basic_send_recv(self, unit_model):

@@ -1,0 +1,95 @@
+"""Endpoint validation parity: both backends reject bad channels alike.
+
+The two backends share :meth:`Proc._check_channel`, so an out-of-range
+destination, a self-send, a boolean rank, or a negative tag must raise
+the *same* :class:`~repro.errors.CommunicationError` text on the
+generator engine and on real threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError
+from repro.machine import Ring, run_spmd
+from repro.machine.threaded import run_spmd_threaded
+
+RUNNERS = [
+    pytest.param(run_spmd, id="engine"),
+    pytest.param(run_spmd_threaded, id="threaded"),
+]
+
+N = 4
+
+
+def _error_of(runner, prog):
+    with pytest.raises(CommunicationError) as err:
+        runner(prog, Ring(N))
+    return str(err.value)
+
+
+def _send_prog(dest, tag=0):
+    def prog(p):
+        if p.rank == 0:
+            p.send(dest, 1.0, tag=tag)
+        return None
+        yield  # pragma: no cover - makes prog a generator
+
+    return prog
+
+
+def _recv_prog(source, tag=0):
+    def prog(p):
+        if p.rank == 0:
+            yield from p.recv(source, tag=tag)
+
+    return prog
+
+
+BAD_CASES = [
+    pytest.param(_send_prog(-1), "cannot send to rank -1", id="send-negative"),
+    pytest.param(_send_prog(N), f"valid ranks are 0..{N - 1}", id="send-overflow"),
+    pytest.param(_send_prog(0), "P0 attempted to send to itself", id="send-self"),
+    pytest.param(_send_prog(True), "rank must be an integer", id="send-bool"),
+    pytest.param(_send_prog("1"), "rank must be an integer", id="send-str"),
+    pytest.param(_send_prog(1, tag=-3), "negative tag -3", id="send-negative-tag"),
+    pytest.param(_recv_prog(-2), "cannot receive from rank -2", id="recv-negative"),
+    pytest.param(_recv_prog(N + 1), f"valid ranks are 0..{N - 1}", id="recv-overflow"),
+    pytest.param(
+        _recv_prog(0), "P0 attempted to receive from itself", id="recv-self"
+    ),
+    pytest.param(_recv_prog(False), "rank must be an integer", id="recv-bool"),
+    pytest.param(_recv_prog(1, tag=-1), "negative tag -1", id="recv-negative-tag"),
+]
+
+
+class TestEndpointValidation:
+    @pytest.mark.parametrize("runner", RUNNERS)
+    @pytest.mark.parametrize("prog,fragment", BAD_CASES)
+    def test_bad_endpoint_rejected(self, runner, prog, fragment):
+        assert fragment in _error_of(runner, prog)
+
+    @pytest.mark.parametrize("prog,fragment", BAD_CASES)
+    def test_backends_raise_identical_messages(self, prog, fragment):
+        assert _error_of(run_spmd, prog) == _error_of(run_spmd_threaded, prog)
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_numpy_integer_rank_accepted(self, runner):
+        def prog(p):
+            if p.rank == 0:
+                p.send(np.int64(1), 7.0, tag=int(np.int64(2)))
+                return None
+            if p.rank == 1:
+                return (yield from p.recv(0, tag=2))
+            return None
+
+        assert runner(prog, Ring(N)).value(1) == 7.0
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_recv_deadline_validates_endpoint(self, runner):
+        def prog(p):
+            if p.rank == 0:
+                yield from p.recv_deadline(0, deadline=10.0)
+
+        assert "itself" in _error_of(runner, prog)
