@@ -25,6 +25,7 @@ from repro.machine.collectives import (
     scatter,
     shift,
 )
+from repro.machine.nonblocking import NBComm, waitall, waitany
 
 RUNTIME_NAMESPACE = {
     "np": np,
@@ -37,6 +38,10 @@ RUNTIME_NAMESPACE = {
     "reduce": reduce,
     "scatter": scatter,
     "shift": shift,
+    # Nonblocking layer (overlapped generated code).
+    "NBComm": NBComm,
+    "waitall": waitall,
+    "waitany": waitany,
     # Redistribution runtime (layout changes between loop phases).
     "ArrayPlacement": ArrayPlacement,
     "Kind": Kind,

@@ -83,6 +83,10 @@ def generate_spmd(program: Program, strategy: str | None = None) -> GeneratedPro
 
     stencil = match_stencil_sweep(program)
     if stencil is not None:
+        if strategy == "stencil-overlap":
+            from repro.codegen.overlap import emit_stencil_overlap
+
+            return emit_stencil_overlap(stencil)
         if strategy not in (None, "stencil"):
             raise CodegenError(f"strategy {strategy!r} not applicable to stencil sweeps")
         return emit_stencil(stencil)

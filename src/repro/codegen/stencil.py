@@ -218,11 +218,20 @@ def match_stencil_sweep(program: Program) -> StencilPattern | None:
 # ---------------------------------------------------------------------------
 
 
-def _compile_expr(expr: Expr, var: str, pattern: StencilPattern) -> str:
+def _compile_expr(
+    expr: Expr,
+    var: str,
+    pattern: StencilPattern,
+    lo_name: str = "s0",
+    hi_name: str = "s1",
+) -> str:
     """Compile an expression to a NumPy slice expression over local pads.
 
     Array ``W`` is held as ``W_pad`` with left halo ``HL[W]``; global
     element ``i + c`` of the block maps to ``W_pad[HL + c : HL + c + cnt]``.
+    ``lo_name``/``hi_name`` are the emitted slice-bound variables (the
+    overlap emitter compiles each statement twice, over interior and
+    boundary subranges).
     """
     halo = pattern.halo
 
@@ -236,7 +245,7 @@ def _compile_expr(expr: Expr, var: str, pattern: StencilPattern) -> str:
             assert off is not None
             left = halo[e.name][0]
             lo = left + off
-            return f"pads['{e.name}'][{lo} + s0 : {lo} + s1]"
+            return f"pads['{e.name}'][{lo} + {lo_name} : {lo} + {hi_name}]"
         if isinstance(e, UnaryOp):
             return f"(-{go(e.operand)})" if e.op == "-" else go(e.operand)
         if isinstance(e, BinOp):

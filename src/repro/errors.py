@@ -87,6 +87,25 @@ class RankCrashedError(FaultError):
         self.at_time = at_time
 
 
+class PeerCrashedError(FaultError):
+    """Raised when a nonblocking request waits on a crashed rank.
+
+    Unlike a deadlock, this carries the :class:`CrashFault
+    <repro.machine.faults.CrashFault>` that killed the peer, so the
+    waiter knows *why* no message will ever come.  The resilient
+    supervisor treats it, like :class:`RankCrashedError`, as a crash
+    symptom and restarts the run.
+    """
+
+    def __init__(self, rank: int, crash) -> None:
+        super().__init__(
+            f"P{rank} waits on P{crash.rank}, which crashed at simulated "
+            f"time {crash.at_time:g}"
+        )
+        self.rank = rank
+        self.crash = crash
+
+
 class RetryExhaustedError(FaultError):
     """Raised when a reliable transfer gives up after its last retry."""
 

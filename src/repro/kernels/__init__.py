@@ -20,6 +20,13 @@ from repro.kernels.jacobi import (
     jacobi_rowdist,
     jacobi_rowdist_adaptive,
 )
+from repro.kernels.overlap import (
+    heat_stencil_blocking,
+    heat_stencil_overlap,
+    jacobi_ring_blocking,
+    jacobi_ring_overlap,
+    sor_pipelined_overlap,
+)
 from repro.kernels.sor import sor_naive, sor_pipelined
 from repro.kernels.gauss import gauss_broadcast, gauss_pipelined, gauss_pivoted
 from repro.kernels.cannon import cannon_matmul
@@ -45,6 +52,11 @@ __all__ = [
     "jacobi_grid2d",
     "sor_naive",
     "sor_pipelined",
+    "sor_pipelined_overlap",
+    "heat_stencil_blocking",
+    "heat_stencil_overlap",
+    "jacobi_ring_blocking",
+    "jacobi_ring_overlap",
     "gauss_broadcast",
     "gauss_pipelined",
     "gauss_pivoted",

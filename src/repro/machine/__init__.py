@@ -38,8 +38,17 @@ from repro.machine.export import (
 from repro.machine.faults import CrashFault, FaultPlan, FaultState, MessageFate
 from repro.machine.forensics import BlockedRank, DeadlockReport
 from repro.machine.metrics import GroupStats, Metrics, RankMetrics
+from repro.machine.nonblocking import (
+    NBComm,
+    RecvRequest,
+    Request,
+    SendRequest,
+    waitall,
+    waitany,
+)
 from repro.machine.resilient import (
     CheckpointStore,
+    ReliableSendRequest,
     ReliableTransport,
     ResilientResult,
     RetryPolicy,
@@ -100,8 +109,15 @@ __all__ = [
     "DeadlockReport",
     "BlockedRank",
     "ReliableTransport",
+    "ReliableSendRequest",
     "RetryPolicy",
     "CheckpointStore",
     "ResilientResult",
     "run_resilient",
+    "NBComm",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
+    "waitany",
 ]

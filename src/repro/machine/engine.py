@@ -52,6 +52,19 @@ from repro.machine.trace import TraceEvent
 
 Channel = tuple[int, int, int]  # (source, dest, tag)
 
+
+def park_channels(parked: Any) -> tuple[Channel, ...]:
+    """Normalize a scheduler park request to a tuple of channels.
+
+    A blocked receive yields one ``(source, dest, tag)`` channel; a
+    ``waitany`` (:mod:`repro.machine.nonblocking`) yields a tuple of
+    them, meaning "wake me when a message arrives on *any*".  Both engine
+    backends share this normalization.
+    """
+    if parked and isinstance(parked[0], tuple):
+        return tuple(parked)
+    return (parked,)
+
 #: Tag offset for engine-synthesized acknowledgements of reliable sends.
 #: Program tags must stay below this; the reliable layer listens on
 #: ``ACK_TAG_BASE + tag`` for the ack of a data message sent on ``tag``.
@@ -287,12 +300,20 @@ class Proc:
         tag: int = 0,
         *,
         seq: int | None = None,
+        posted: bool = False,
     ) -> None:
         """Buffered non-blocking send (plain call — do *not* ``yield from``).
 
         *seq* marks the message as reliable traffic: the engine assigns
         sequence-number deduplication and synthesizes an ack on
         ``ACK_TAG_BASE + tag`` (see :mod:`repro.machine.resilient`).
+
+        *posted* injects the message through the nonblocking path
+        (:mod:`repro.machine.nonblocking`): the sender pays only the
+        per-message startup (:meth:`MachineModel.post_occupancy`) and the
+        NIC streams the body concurrently
+        (:meth:`MachineModel.posted_wire_latency`); the event is recorded
+        as ``isend`` instead of ``send``.
         """
         self._check_channel(dest, tag, sending=True)
         nwords = _payload_words(data) if words is None else int(words)
@@ -300,9 +321,13 @@ class Proc:
             raise CommunicationError(f"negative message size {nwords}")
         model = self._engine.model
         start = self.clock
-        self.clock += self._scaled(model.send_occupancy(nwords))
         hops = self._engine.topology.hops(self.rank, dest)
-        available = self.clock + model.wire_latency(nwords, hops)
+        if posted:
+            self.clock += self._scaled(model.post_occupancy(nwords))
+            available = self.clock + model.posted_wire_latency(nwords, hops)
+        else:
+            self.clock += self._scaled(model.send_occupancy(nwords))
+            available = self.clock + model.wire_latency(nwords, hops)
         msg = _Message(
             data=_payload_copy(data),
             words=nwords,
@@ -317,8 +342,8 @@ class Proc:
         # zero-duration fault markers at the send's end time, and lanes
         # must stay time-ordered for the critical-path walker.
         self._engine.record(
-            self.rank, "send", start, self.clock, peer=dest, words=nwords, tag=tag,
-            scope=self.scope,
+            self.rank, "isend" if posted else "send", start, self.clock,
+            peer=dest, words=nwords, tag=tag, scope=self.scope,
         )
         self._dispatch(msg)
         self._maybe_crash()
@@ -394,8 +419,24 @@ class Proc:
         program's message counters, and becomes available one word-time
         after the data did.  Acks themselves pass through the fault plan
         (droppable, delayable) but are never duplicated or deduplicated.
+
+        A machine that the fault plan has killed by the time the data
+        lands does not ack: the sender's retries go unanswered and it
+        raises :class:`repro.errors.RetryExhaustedError`, the crash
+        symptom the resilient supervisor restarts on.  (The check uses
+        the *plan*, not the fired state, so it is independent of how far
+        the doomed rank's thread has actually progressed.)
         """
         model = self._engine.model
+        faults = self._engine.faults
+        if faults is not None and faults.crashed_by(
+            data_msg.dest, data_msg.available
+        ) is not None:
+            self._engine.record(
+                self.rank, "fault", self.clock, self.clock, peer=data_msg.dest,
+                tag=data_msg.tag, detail="ack-dead", scope=self.scope,
+            )
+            return
         ack = _Message(
             data=data_msg.seq,
             words=1,
@@ -498,8 +539,17 @@ class Proc:
         return (yield from self._recv_impl(source, tag, deadline))
 
     def probe(self, source: int, tag: int = 0) -> bool:
-        """True when a matching message is already queued (no time cost)."""
-        return self._engine.has_message((source, self.rank, tag))
+        """True when a matching message has *arrived* (no time cost).
+
+        A message counts as arrived only once its availability time —
+        which includes any :class:`~repro.machine.faults.FaultPlan`
+        injected delay — is at or before this rank's local clock, so a
+        delayed message stays invisible until its delayed arrival on both
+        backends.  (Channels are FIFO: only the head is considered, a
+        receive would have to drain it first anyway.)
+        """
+        self._check_channel(source, tag, sending=False)
+        return self._engine.has_arrived((source, self.rank, tag), self.clock)
 
 
 class Engine:
@@ -517,6 +567,7 @@ class Engine:
         self.procs = [Proc(self, r) for r in range(topology.size)]
         self._queues: dict[Channel, deque[_Message]] = {}
         self._waiting: dict[Channel, int] = {}  # channel -> parked rank
+        self._nb_parked: set[int] = set()  # ranks parked by a nonblocking wait
         self._runnable: deque[int] = deque()
         self.message_count = 0
         self.message_words = 0
@@ -546,6 +597,7 @@ class Engine:
             proc.scope = ""
         self._queues = {}
         self._waiting = {}
+        self._nb_parked = set()
         self._runnable = deque()
         self.message_count = 0
         self.message_words = 0
@@ -569,7 +621,13 @@ class Engine:
             self.message_words += msg.words
         parked = self._waiting.pop(channel, None)
         if parked is not None:
+            # A waitany park registers several channels for one rank:
+            # waking it must clear every registration, or a later send on
+            # a sibling channel would "wake" a rank that is long gone.
+            for ch in [c for c, r in self._waiting.items() if r == parked]:
+                del self._waiting[ch]
             self._timed.pop(parked, None)
+            self._nb_parked.discard(parked)
             self._runnable.append(parked)
 
     def try_pop(self, channel: Channel) -> _Message | None:
@@ -598,6 +656,18 @@ class Engine:
     def has_message(self, channel: Channel) -> bool:
         queue = self._queues.get(channel)
         return bool(queue)
+
+    def peek_available(self, channel: Channel) -> float | None:
+        """Availability time of the FIFO head, or ``None`` when empty."""
+        queue = self._queues.get(channel)
+        if not queue:
+            return None
+        return queue[0].available
+
+    def has_arrived(self, channel: Channel, now: float) -> bool:
+        """True when the FIFO head exists and is available by *now*."""
+        avail = self.peek_available(channel)
+        return avail is not None and avail <= now
 
     # -- fault bookkeeping ----------------------------------------------
     def next_attempt(self, channel: Channel) -> int:
@@ -675,10 +745,33 @@ class Engine:
         for channel, waiter in list(self._waiting.items()):
             if waiter == rank:
                 del self._waiting[channel]
-                break
+        self._nb_parked.discard(rank)
         self._timeout_fired.add(rank)
         self._runnable.append(rank)
         return True
+
+    def _wake_crashed_nb(self) -> bool:
+        """Wake nonblocking waiters parked on a crashed peer's channel.
+
+        Only nonblocking parks are woken: their wait loop re-checks the
+        fault state before re-parking and raises
+        :class:`repro.errors.PeerCrashedError` with the crash as context.
+        (A plain blocked ``recv`` has no such check, so waking it would
+        spin; it surfaces as a deadlock instead, exactly as before.)
+        """
+        if self.faults is None or not self._nb_parked:
+            return False
+        woke = False
+        for rank in sorted(self._nb_parked):
+            chans = [ch for ch, r in self._waiting.items() if r == rank]
+            if any(self.faults.fired_crash(ch[0]) is not None for ch in chans):
+                for ch in chans:
+                    del self._waiting[ch]
+                self._nb_parked.discard(rank)
+                self._timed.pop(rank, None)
+                self._runnable.append(rank)
+                woke = True
+        return woke
 
     # -- scheduler --------------------------------------------------------
     def run(
@@ -710,9 +803,11 @@ class Engine:
 
         while live:
             if not self._runnable:
-                # Global stall: the only way forward is an expired timed
-                # receive; with none pending this is a true deadlock.
-                if not self._fire_earliest_timeout():
+                # Global stall: the only ways forward are a nonblocking
+                # waiter whose peer crashed (it must fail, not hang) or an
+                # expired timed receive; with neither pending this is a
+                # true deadlock.
+                if not self._wake_crashed_nb() and not self._fire_earliest_timeout():
                     raise self._deadlock()
             rank = self._runnable.popleft()
             gen = gens[rank]
@@ -724,15 +819,20 @@ class Engine:
                 gens[rank] = None
                 live -= 1
                 continue
-            if self.has_message(channel):
+            nb_park = bool(channel) and isinstance(channel[0], tuple)
+            channels = park_channels(channel)
+            if any(self.has_message(ch) for ch in channels):
                 # Message raced in while the generator was yielding: retry.
                 self._runnable.append(rank)
             else:
-                if channel in self._waiting:
-                    raise CommunicationError(
-                        f"two processors waiting on the same channel {channel}"
-                    )
-                self._waiting[channel] = rank
+                for ch in channels:
+                    if ch in self._waiting:
+                        raise CommunicationError(
+                            f"two processors waiting on the same channel {ch}"
+                        )
+                    self._waiting[ch] = rank
+                if nb_park:
+                    self._nb_parked.add(rank)
                 if deadline is not None:
                     self._timed[rank] = deadline
 

@@ -6,6 +6,10 @@ consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
 
 * one *thread* per simulated processor (``tid`` = rank) inside a single
   *process* (``pid`` = 0), named via ``M`` metadata events;
+* one *request lane* per rank that posted nonblocking operations
+  (``tid`` = 1000 + rank, named ``P<rank> requests``): ``isend`` posts
+  and ``irecv`` markers render there, keeping the compute lane clean
+  while making the post→completion span of each request visible;
 * one complete-duration event (``ph": "X"``) per trace event, with the
   simulated seconds scaled to microseconds (Perfetto's native unit);
 * one flow-arrow pair (``ph": "s"`` / ``"f"``) per delivered message,
@@ -26,6 +30,16 @@ from repro.machine.trace import TraceEvent
 #: Simulated seconds -> Chrome trace microseconds.
 TIME_SCALE = 1e6
 
+#: ``tid`` offset of the per-rank nonblocking request lanes.
+REQUEST_TID_BASE = 1000
+
+#: Event kinds drawn on the request lane instead of the rank's main lane.
+_REQUEST_KINDS = ("isend", "irecv")
+
+
+def _tid(e: TraceEvent) -> int:
+    return REQUEST_TID_BASE + e.rank if e.kind in _REQUEST_KINDS else e.rank
+
 
 def match_messages(
     trace: list[list[TraceEvent]],
@@ -41,7 +55,7 @@ def match_messages(
     recvs: dict[tuple[int, int | None, int], list[TraceEvent]] = {}
     for lane in trace:
         for e in lane:
-            if e.kind == "send":
+            if e.kind in ("send", "isend"):
                 sends.setdefault((e.rank, e.peer, e.tag), []).append(e)
             elif e.kind == "recv":
                 recvs.setdefault((e.peer, e.rank, e.tag), []).append(e)
@@ -62,11 +76,17 @@ def chrome_trace_events(
         {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
          "args": {"name": process_name}},
     ]
-    for rank, _lane in enumerate(trace):
+    for rank, lane in enumerate(trace):
         events.append(
             {"name": "thread_name", "ph": "M", "pid": 0, "tid": rank,
              "args": {"name": f"P{rank}"}}
         )
+        if any(e.kind in _REQUEST_KINDS for e in lane):
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 0,
+                 "tid": REQUEST_TID_BASE + rank,
+                 "args": {"name": f"P{rank} requests"}}
+            )
     for lane in trace:
         for e in lane:
             args: dict = {"kind": e.kind}
@@ -76,20 +96,20 @@ def chrome_trace_events(
                 args["tag"] = e.tag
             if e.scope:
                 args["scope"] = e.scope
-            if e.kind == "fault":
-                # Zero-duration fault markers (drops, retries, crashes...)
-                # render as thread-scoped instant events — visible ticks
-                # on the rank's lane in Perfetto.
+            if e.kind in ("fault", "irecv"):
+                # Zero-duration markers (drops, retries, crashes, irecv
+                # posts) render as thread-scoped instant events — visible
+                # ticks on the rank's lane (or request lane) in Perfetto.
                 args["detail"] = e.detail
                 events.append(
                     {
                         "name": e.label(),
-                        "cat": "fault",
+                        "cat": "request" if e.kind == "irecv" else "fault",
                         "ph": "i",
                         "s": "t",
                         "ts": e.start * TIME_SCALE,
                         "pid": 0,
-                        "tid": e.rank,
+                        "tid": _tid(e),
                         "args": args,
                     }
                 )
@@ -102,7 +122,7 @@ def chrome_trace_events(
                     "ts": e.start * TIME_SCALE,
                     "dur": e.duration * TIME_SCALE,
                     "pid": 0,
-                    "tid": e.rank,
+                    "tid": _tid(e),
                     "args": args,
                 }
             )
@@ -110,7 +130,7 @@ def chrome_trace_events(
         for flow_id, (snd, rcv) in enumerate(match_messages(trace)):
             common = {"name": "msg", "cat": "msg", "pid": 0, "id": flow_id}
             events.append(
-                {**common, "ph": "s", "ts": snd.end * TIME_SCALE, "tid": snd.rank}
+                {**common, "ph": "s", "ts": snd.end * TIME_SCALE, "tid": _tid(snd)}
             )
             events.append(
                 {**common, "ph": "f", "bp": "e", "ts": rcv.start * TIME_SCALE,

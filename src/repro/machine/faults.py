@@ -166,6 +166,7 @@ class FaultState:
             if cur is None or crash.at_time < cur.at_time:
                 pending[crash.rank] = crash
         self._pending = pending
+        self._initial = dict(pending)
         self._fired: list[CrashFault] = []
 
     # -- crashes ---------------------------------------------------------
@@ -180,6 +181,33 @@ class FaultState:
     @property
     def fired_crashes(self) -> tuple[CrashFault, ...]:
         return tuple(self._fired)
+
+    def fired_crash(self, rank: int) -> CrashFault | None:
+        """The fired crash that killed *rank*, or ``None`` if it is alive.
+
+        Used by the nonblocking layer to fail a request against a dead
+        peer with the crash as context instead of letting it wedge into a
+        deadlock (list reads are GIL-atomic, so this is safe from any
+        thread of the threaded backend).
+        """
+        for crash in self._fired:
+            if crash.rank == rank:
+                return crash
+        return None
+
+    def crashed_by(self, rank: int, time: float) -> CrashFault | None:
+        """The plan's crash that has killed *rank* by simulated *time*.
+
+        Unlike :meth:`fired_crash` this is a pure function of the plan —
+        it does not depend on whether the doomed rank's thread has
+        actually reached its crash point yet — so scheduling-sensitive
+        decisions (e.g. whether a message gets hardware-acked) stay
+        deterministic across backends.
+        """
+        crash = self._initial.get(rank)
+        if crash is not None and time >= crash.at_time:
+            return crash
+        return None
 
     # -- slowdown --------------------------------------------------------
     def slowdown(self, rank: int) -> float:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.util.tables import Table
 
-_COMM_KINDS = ("send", "recv")
+_COMM_KINDS = ("send", "isend", "recv")
 
 
 @dataclass
@@ -43,11 +43,24 @@ class RankMetrics:
     messages_received: int = 0
     words_sent: int = 0
     words_received: int = 0
+    #: Nonblocking overlap accounting (populated by the request layer of
+    #: :mod:`repro.machine.nonblocking`): total in-flight seconds of
+    #: completed receives after their post, and the portion of that time
+    #: hidden behind local work rather than exposed as blocked waiting.
+    inflight_seconds: float = 0.0
+    hidden_seconds: float = 0.0
 
     @property
     def busy_seconds(self) -> float:
         """Time the processor was doing something (not blocked waiting)."""
         return self.compute_seconds + self.delay_seconds + self.comm_seconds
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of nonblocking in-flight time hidden behind compute."""
+        if self.inflight_seconds <= 0.0:
+            return 0.0
+        return self.hidden_seconds / self.inflight_seconds
 
 
 @dataclass
@@ -116,7 +129,7 @@ class Metrics:
             r.compute_seconds += duration
         elif kind == "delay":
             r.delay_seconds += duration
-        elif kind == "send":
+        elif kind in ("send", "isend"):
             r.comm_seconds += duration
             r.messages_sent += 1
             r.words_sent += words
@@ -126,7 +139,7 @@ class Metrics:
             r.words_received += words
         elif kind == "wait":
             r.wait_seconds += duration
-        is_send = kind == "send"
+        is_send = kind in ("send", "isend")
         messages = 1 if is_send else 0
         nwords = words if is_send else 0
         with self._lock:
@@ -137,6 +150,17 @@ class Metrics:
                 self.by_collective.setdefault(scope, GroupStats()).add(
                     duration, messages, nwords
                 )
+
+    def observe_overlap(self, rank: int, inflight: float, hidden: float) -> None:
+        """Fold one completed nonblocking receive into the overlap stats.
+
+        Called by :class:`repro.machine.nonblocking.RecvRequest` at
+        completion time; per-rank fields are thread-confined, so no lock
+        is needed even on the threaded backend.
+        """
+        r = self.ranks[rank]
+        r.inflight_seconds += inflight
+        r.hidden_seconds += hidden
 
     # -- aggregates ------------------------------------------------------
     @property
@@ -222,6 +246,22 @@ class Metrics:
             table.add_row([key, s.events, f"{s.seconds:g}", s.messages, s.words])
         return table.render()
 
+    def overlap_table(self) -> str:
+        table = Table(
+            ["rank", "inflight", "hidden", "overlap ratio"],
+            title="Nonblocking overlap (simulated seconds)",
+        )
+        for r in self.ranks:
+            table.add_row(
+                [
+                    f"P{r.rank}",
+                    f"{r.inflight_seconds:g}",
+                    f"{r.hidden_seconds:g}",
+                    f"{r.overlap_ratio:.3f}",
+                ]
+            )
+        return table.render()
+
     def fault_table(self) -> str:
         table = Table(
             ["fault", "count"],
@@ -233,6 +273,8 @@ class Metrics:
 
     def summary(self) -> str:
         parts = [self.rank_table()]
+        if any(r.inflight_seconds > 0.0 for r in self.ranks):
+            parts.append(self.overlap_table())
         if self.by_collective:
             parts.append(self.collective_table())
         if self.by_tag:
@@ -267,6 +309,9 @@ class Metrics:
                     "messages_received": r.messages_received,
                     "words_sent": r.words_sent,
                     "words_received": r.words_received,
+                    "inflight_seconds": r.inflight_seconds,
+                    "hidden_seconds": r.hidden_seconds,
+                    "overlap_ratio": r.overlap_ratio,
                 }
                 for r in self.ranks
             ],

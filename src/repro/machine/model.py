@@ -68,6 +68,31 @@ class MachineModel:
         extra = self.alpha + words * self.tc if self.overlap else 0.0
         return extra + max(hops - 1, 0) * self.hop_cost
 
+    # -- nonblocking (posted) transfers --------------------------------
+    def post_occupancy(self, words: int) -> float:
+        """Endpoint cost of *posting* a nonblocking transfer.
+
+        An ``isend`` hands a descriptor to the NIC and an ``irecv`` wait
+        drains an already-landed message: both cost only the per-message
+        startup ``alpha``, never the per-word time — this is §5's
+        "hardware supports overlaying the computation and the
+        communication" realized at the runtime level, so it matches
+        :meth:`send_occupancy` / :meth:`recv_occupancy` under
+        ``overlap=True`` regardless of the flag.
+        """
+        return self.alpha
+
+    def posted_wire_latency(self, words: int, hops: int) -> float:
+        """In-flight time of a posted transfer after the post completes.
+
+        The NIC performs the full ``alpha + words * tc`` transfer while
+        the processor computes — identical to :meth:`wire_latency` under
+        ``overlap=True``, so a nonblocking program on a plain model and a
+        blocking program on an ``overlap=True`` model see the same
+        per-message availability times.
+        """
+        return self.alpha + words * self.tc + max(hops - 1, 0) * self.hop_cost
+
     def flops(self, count: float) -> float:
         """Time for *count* floating-point operations."""
         return count * self.tf

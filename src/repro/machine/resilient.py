@@ -44,8 +44,10 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import (
+    CommunicationError,
     DeadlockError,
     FaultError,
+    PeerCrashedError,
     RankCrashedError,
     RetryExhaustedError,
 )
@@ -114,6 +116,7 @@ class ReliableTransport(Transport):
     def __init__(self, policy: RetryPolicy | None = None) -> None:
         self.policy = policy or RetryPolicy()
         self._next_seq: dict[tuple[int, int, int], int] = {}
+        self._outstanding: dict[tuple[int, int, int], "ReliableSendRequest"] = {}
 
     def send(
         self, p: Proc, dest: int, data: Any, words: int | None = None, tag: int = 0
@@ -139,6 +142,119 @@ class ReliableTransport(Transport):
                 # Stale ack of an earlier sequence number (a re-ack of a
                 # suppressed duplicate): drain it and keep waiting.
         raise RetryExhaustedError(p.rank, dest, tag, attempts)
+
+    def isend(
+        self, p: Proc, dest: int, data: Any, words: int | None = None, tag: int = 0
+    ) -> "ReliableSendRequest":
+        """Nonblocking reliable send: post now, ack-wait at ``wait()``.
+
+        The data message goes out through the posted (``isend``) path —
+        the sender pays only ``alpha`` — and the returned request's
+        :meth:`~ReliableSendRequest.wait` runs the stop-and-wait
+        ack/retry loop with deadlines anchored at the *post* time, so
+        compute performed between ``isend`` and ``wait`` counts toward
+        the ack window: the ack is serviced while compute proceeds, and
+        ``wait`` merely drains it.
+
+        At most one reliable request may be outstanding per ``(dest,
+        tag)`` channel: a second concurrent one would consume the
+        first's acks (they share the ack tag), so overlapping posts on
+        one channel raise :class:`repro.errors.CommunicationError` —
+        complete the previous request first.
+        """
+        key = (p.rank, dest, tag)
+        outstanding = self._outstanding.get(key)
+        if outstanding is not None and not outstanding.done:
+            raise CommunicationError(
+                f"P{p.rank} already has an outstanding reliable isend to "
+                f"P{dest} on tag {tag}; wait() it before posting another"
+            )
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        request = ReliableSendRequest(self, p, dest, data, words, tag, seq)
+        self._outstanding[key] = request
+        return request
+
+
+class ReliableSendRequest:
+    """Outstanding reliable transfer posted by :meth:`ReliableTransport.isend`.
+
+    Mirrors the :class:`repro.machine.nonblocking.Request` protocol
+    (``done`` flag, generator ``wait()``) so it composes with
+    :func:`repro.machine.nonblocking.waitall`.
+    """
+
+    def __init__(
+        self,
+        transport: ReliableTransport,
+        p: Proc,
+        dest: int,
+        data: Any,
+        words: int | None,
+        tag: int,
+        seq: int,
+    ) -> None:
+        self._transport = transport
+        self._p = p
+        self._data = data
+        self._words = words
+        self._nwords = _payload_words(data) if words is None else int(words)
+        self.dest = dest
+        self.tag = tag
+        self.seq = seq
+        self.done = False
+        self.value: Any = None
+        p.send(dest, data, words=words, tag=tag, seq=seq, posted=True)
+        self._posted_clock = p.clock
+
+    def wait(self) -> Generator[Any, None, None]:
+        """Wait for the ack, retransmitting on timeout like ``send``."""
+        if self.done:
+            return
+        p = self._p
+        policy = self._transport.policy
+        base_timeout = policy.timeout_for(p.model, self._nwords)
+        ack_tag = ACK_TAG_BASE + self.tag
+        attempts = policy.max_retries + 1
+        anchor = self._posted_clock
+        for attempt in range(attempts):
+            if attempt > 0:
+                p.mark("retry", peer=self.dest, tag=self.tag)
+                p.send(
+                    self.dest, self._data, words=self._words, tag=self.tag,
+                    seq=self.seq, posted=True,
+                )
+                anchor = p.clock
+            deadline = anchor + base_timeout * (policy.backoff**attempt)
+            while True:
+                ack = yield from p.recv_deadline(
+                    self.dest, tag=ack_tag, deadline=deadline
+                )
+                if ack is TIMED_OUT:
+                    break
+                if isinstance(ack, int) and ack >= self.seq:
+                    self.done = True
+                    return
+        raise RetryExhaustedError(p.rank, self.dest, self.tag, attempts)
+
+    def test(self) -> bool:
+        """True (and completed) iff the ack has already arrived.
+
+        Never retransmits — retries are driven by :meth:`wait`'s
+        simulated-time deadlines, which a zero-cost poll must not touch.
+        """
+        if self.done:
+            return True
+        p = self._p
+        ack_tag = ACK_TAG_BASE + self.tag
+        ack_channel = (self.dest, p.rank, ack_tag)
+        while p._engine.has_arrived(ack_channel, p.clock):
+            msg = p._engine.try_pop(ack_channel)
+            ack = msg.data
+            if isinstance(ack, int) and ack >= self.seq:
+                self.done = True
+                return True
+        return False
 
 
 class CheckpointStore:
@@ -232,9 +348,15 @@ class ResilientResult:
 
 
 #: Errors that may be the *symptom* of an injected crash: the crash
-#: itself, the survivors deadlocking on the dead rank, or a reliable
-#: sender exhausting retries against it.
-_RESTARTABLE = (RankCrashedError, DeadlockError, RetryExhaustedError)
+#: itself, the survivors deadlocking on the dead rank, a nonblocking
+#: request failing against it, or a reliable sender exhausting retries
+#: against it.
+_RESTARTABLE = (
+    RankCrashedError,
+    DeadlockError,
+    PeerCrashedError,
+    RetryExhaustedError,
+)
 
 
 def run_resilient(

@@ -36,7 +36,7 @@ from collections.abc import Callable, Generator
 from typing import Any
 
 from repro.errors import DeadlockError, MachineError, RankCrashedError
-from repro.machine.engine import Channel, Proc, RunResult, _Message
+from repro.machine.engine import Channel, Proc, RunResult, _Message, park_channels
 from repro.machine.faults import FaultPlan, FaultState
 from repro.machine.forensics import RECENT_EVENTS, DeadlockReport, build_report
 from repro.machine.metrics import Metrics
@@ -61,7 +61,8 @@ class ThreadedEngine:
         self.procs = [Proc(self, r) for r in range(topology.size)]
         self._queues: dict[Channel, deque[_Message]] = {}
         self._cv = threading.Condition()
-        self._wait_channels: dict[int, Channel] = {}
+        # rank -> tuple of channels it is parked on (several for waitany)
+        self._wait_channels: dict[int, tuple[Channel, ...]] = {}
         self._live = 0
         self._deadlocked = False
         self._deadlock_timeout = deadlock_timeout
@@ -139,6 +140,19 @@ class ThreadedEngine:
         with self._cv:
             return bool(self._queues.get(channel))
 
+    def peek_available(self, channel: Channel) -> float | None:
+        """Availability time of the FIFO head, or ``None`` when empty."""
+        with self._cv:
+            queue = self._queues.get(channel)
+            if not queue:
+                return None
+            return queue[0].available
+
+    def has_arrived(self, channel: Channel, now: float) -> bool:
+        """True when the FIFO head exists and is available by *now*."""
+        avail = self.peek_available(channel)
+        return avail is not None and avail <= now
+
     # -- fault bookkeeping ------------------------------------------------
     def next_attempt(self, channel: Channel) -> int:
         """Per-channel attempt counter (thread-confined to the sender)."""
@@ -187,7 +201,17 @@ class ThreadedEngine:
             return False
         if any(rank in self._timeout_fired for rank in self._wait_channels):
             return False
-        return all(not self._queues.get(ch) for ch in self._wait_channels.values())
+        return all(
+            not self._queues.get(ch)
+            for chans in self._wait_channels.values()
+            for ch in chans
+        )
+
+    def _peer_crashed_locked(self, chans: tuple[Channel, ...]) -> bool:
+        """True when any source rank of *chans* has a fired injected crash."""
+        if self.faults is None:
+            return False
+        return any(self.faults.fired_crash(ch[0]) is not None for ch in chans)
 
     def _fire_earliest_timeout_locked(self) -> int | None:
         """Wake the timed waiter with the smallest deadline (lock held)."""
@@ -200,7 +224,9 @@ class ThreadedEngine:
         return rank
 
     def _build_report_locked(self) -> DeadlockReport:
-        waiting = {ch: rank for rank, ch in self._wait_channels.items()}
+        waiting = {
+            ch: rank for rank, chans in self._wait_channels.items() for ch in chans
+        }
         return build_report(
             nprocs=len(self.procs),
             waiting=waiting,
@@ -238,20 +264,29 @@ class ThreadedEngine:
                         return
                     # Blocked receive: wait until a message shows up (or,
                     # for timed receives, until the stall watchdog fires
-                    # this rank's deadline).
+                    # this rank's deadline).  A nonblocking wait parks on
+                    # a *tuple* of channels (waitany) and additionally
+                    # wakes when a waited-on peer crashed, so its request
+                    # can fail with the crash context instead of wedging.
+                    chans = park_channels(channel)
+                    nb_park = bool(channel) and isinstance(channel[0], tuple)
+                    blocked_desc = " | ".join(
+                        f"recv(source={ch[0]}, tag={ch[2]})" for ch in chans
+                    )
                     with self._cv:
-                        self._wait_channels[rank] = channel
+                        self._wait_channels[rank] = chans
                         if deadline is not None:
                             self._timed[rank] = deadline
                         try:
-                            while not self._queues.get(channel):
+                            while not any(self._queues.get(ch) for ch in chans):
                                 if rank in self._timeout_fired:
                                     break  # resume; recv will consume it
+                                if nb_park and self._peer_crashed_locked(chans):
+                                    # Resume; the nonblocking wait loop
+                                    # raises PeerCrashedError.
+                                    break
                                 if self._deadlocked:
-                                    raise DeadlockError(
-                                        {rank: f"recv(source={channel[0]}, "
-                                               f"tag={channel[2]})"}
-                                    )
+                                    raise DeadlockError({rank: blocked_desc})
                                 if self._true_deadlock():
                                     # Global stall: an expired timed recv
                                     # is the only way forward; none left
@@ -267,10 +302,7 @@ class ThreadedEngine:
                                             self._build_report_locked()
                                         )
                                     self._cv.notify_all()
-                                    raise DeadlockError(
-                                        {rank: f"recv(source={channel[0]}, "
-                                               f"tag={channel[2]})"}
-                                    )
+                                    raise DeadlockError({rank: blocked_desc})
                                 # A wait timeout alone is not a deadlock —
                                 # another thread may simply be computing;
                                 # loop and re-check the global condition.

@@ -10,7 +10,7 @@ from repro.util.tables import Table
 #: share a gantt cell, the earlier kind in this tuple wins.  ``fault``
 #: events are zero-duration markers emitted by the fault-injection layer
 #: (drops, delays, retries, crashes — see :mod:`repro.machine.faults`).
-KINDS = ("fault", "compute", "delay", "send", "recv", "wait")
+KINDS = ("fault", "compute", "delay", "send", "isend", "recv", "irecv", "wait")
 
 
 @dataclass(frozen=True)
@@ -49,8 +49,12 @@ class TraceEvent:
             return self.detail or "delay"
         if self.kind == "send":
             return f"send->{self.peer}({self.words}w)"
+        if self.kind == "isend":
+            return f"isend->{self.peer}({self.words}w)"
         if self.kind == "recv":
             return f"recv<-{self.peer}({self.words}w)"
+        if self.kind == "irecv":
+            return f"irecv<-{self.peer}"
         if self.kind == "wait":
             return f"wait<-{self.peer}"
         if self.kind == "fault":
@@ -69,7 +73,7 @@ def comm_time(events: list[TraceEvent]) -> float:
     Blocked waiting is *not* included — it is recorded as separate
     ``wait`` events; see :func:`wait_time`.
     """
-    return busy_time(events, ("send", "recv"))
+    return busy_time(events, ("send", "isend", "recv"))
 
 
 def wait_time(events: list[TraceEvent]) -> float:
@@ -79,7 +83,7 @@ def wait_time(events: list[TraceEvent]) -> float:
 
 def trace_table(
     trace: list[list[TraceEvent]],
-    kinds: tuple[str, ...] = ("compute", "send", "recv", "wait"),
+    kinds: tuple[str, ...] = ("compute", "send", "isend", "recv", "irecv", "wait"),
     max_events: int | None = None,
 ) -> str:
     """Render a per-processor event table ordered by start time."""
@@ -99,17 +103,19 @@ def trace_table(
 #: (fault > compute/delay > send > recv > wait) — a fault marker must
 #: stay visible even when it lands inside a busy interval.
 _GANTT_GLYPHS = {
-    "compute": "#", "delay": "#", "send": ">", "recv": "<", "wait": "~", "fault": "!",
+    "compute": "#", "delay": "#", "send": ">", "isend": "^", "recv": "<",
+    "irecv": "v", "wait": "~", "fault": "!",
 }
 _GANTT_PRIORITY = {
-    "compute": 4, "delay": 4, "send": 3, "recv": 2, "wait": 1, "fault": 5,
+    "compute": 4, "delay": 4, "send": 3, "isend": 3, "recv": 2, "irecv": 1,
+    "wait": 1, "fault": 5,
 }
 
 
 def gantt(
     trace: list[list[TraceEvent]],
     width: int = 72,
-    kinds: tuple[str, ...] = ("compute", "send", "recv", "wait"),
+    kinds: tuple[str, ...] = ("compute", "send", "isend", "recv", "irecv", "wait"),
 ) -> str:
     """Render an ASCII Gantt chart: one row per processor.
 

@@ -1,6 +1,13 @@
 """Pipelining (paper §5-§6): schedules, mappings, broadcast elimination."""
 
 from repro.pipeline.mapping import MappingChoice, choose_mapping, mapping_table
+from repro.pipeline.overlap import (
+    HaloExchange,
+    OverlapSchedule,
+    SweepOverlap,
+    overlap_schedule,
+    overlap_table,
+)
 from repro.pipeline.sor_schedule import ScheduleCell, sor_schedule_from_trace
 from repro.pipeline.transform import CommDecision, pipeline_decisions, pipeline_savings
 
@@ -13,4 +20,9 @@ __all__ = [
     "CommDecision",
     "pipeline_decisions",
     "pipeline_savings",
+    "HaloExchange",
+    "OverlapSchedule",
+    "SweepOverlap",
+    "overlap_schedule",
+    "overlap_table",
 ]
