@@ -31,8 +31,17 @@ def sweep():
     return rows
 
 
-def test_a1_cyclic_vs_block_gauss(benchmark, emit):
+def test_a1_cyclic_vs_block_gauss(benchmark, emit, record):
     rows = benchmark(sweep)
+    for e in rows:
+        record(
+            f"gauss-m{e['m']}-N{e['n']}-tc{e['tc']:g}",
+            makespan=e["cyclic_T"],
+            extra={
+                "block_T": e["block_T"],
+                "imbalance": e["block_comp"] / e["cyclic_comp"],
+            },
+        )
     table = Table(
         ["m", "N", "tc", "cyclic T", "block T", "cyclic max-comp", "block max-comp",
          "imbalance"],

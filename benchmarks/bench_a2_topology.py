@@ -85,8 +85,12 @@ def sweep():
     return m, n, t_ring, t_naive, t_gray, ref
 
 
-def test_a2_topology_and_gray_embedding(benchmark, emit):
+def test_a2_topology_and_gray_embedding(benchmark, emit, record):
     m, n, t_ring, t_naive, t_gray, ref = benchmark(sweep)
+    record("ring", makespan=t_ring)
+    record("cube-naive", makespan=t_naive)
+    record("cube-gray", makespan=t_gray)
+    record("hop-free", makespan=ref.makespan)
     table = Table(
         ["configuration", "makespan (hop_cost=25)"],
         title=f"A2 — pipelined SOR (m={m}, N={n}) under per-hop latency",

@@ -50,8 +50,18 @@ def sweep():
     return alpha_rows, overlap_rows
 
 
-def test_a3_alpha_and_overlap(benchmark, emit):
+def test_a3_alpha_and_overlap(benchmark, emit, record):
     alpha_rows, overlap_rows = benchmark(sweep)
+    for alpha, t_naive, t_pipe, _ratio in alpha_rows:
+        record(
+            f"sor-alpha{alpha:g}", makespan=t_pipe, extra={"t_naive": t_naive}
+        )
+    for name, base, over, _gain in overlap_rows:
+        record(
+            f"overlap-{name.replace(' ', '-')}",
+            makespan=over,
+            extra={"no_overlap": base},
+        )
 
     t1 = Table(
         ["alpha", "SOR naive", "SOR pipelined", "speedup"],

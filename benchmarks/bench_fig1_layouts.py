@@ -48,9 +48,10 @@ def build_layouts():
     return layouts, rendered
 
 
-def test_fig1_distribution_gallery(benchmark, emit):
+def test_fig1_distribution_gallery(benchmark, emit, record):
     layouts, rendered = benchmark(build_layouts)
     emit("fig1_layouts", "\n\n".join(rendered[k] for k in sorted(rendered)))
+    record("layout-gallery", extra={"layouts": len(layouts)})
 
     # (a) plain blocks
     a = block_summary(layouts["a"])

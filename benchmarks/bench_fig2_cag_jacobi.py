@@ -26,7 +26,7 @@ def build(m: int = 256, nprocs: int = 16):
     return cag, alignment
 
 
-def test_fig2_jacobi_cag(benchmark, emit):
+def test_fig2_jacobi_cag(benchmark, emit, record):
     cag, alignment = benchmark(build)
     emit(
         "fig2_cag_jacobi",
@@ -43,6 +43,7 @@ def test_fig2_jacobi_cag(benchmark, emit):
     }
     # c1 (A1--V, the m^2 Transfer term) dominates everything.
     c1 = weights[frozenset({"A1", "V"})]
+    record("jacobi-cag", extra={"nodes": len(cag.nodes), "c1_weight": c1})
     assert c1 == max(weights.values())
     # The paper's remark: c1 > c4 (the line-8 vector edges).
     assert c1 > weights[frozenset({"B", "X"})]

@@ -31,8 +31,13 @@ def build():
     return tables, result, parts
 
 
-def test_fig3_two_loop_decomposition(benchmark, emit):
+def test_fig3_two_loop_decomposition(benchmark, emit, record):
     tables, result, parts = benchmark(build)
+    record(
+        "jacobi-decomposition",
+        makespan=result.cost,
+        extra={name: value for name, value in parts},
+    )
 
     table = Table(
         ["component", "cost"],

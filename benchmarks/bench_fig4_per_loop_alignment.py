@@ -19,8 +19,10 @@ def build():
     return tables.entry(1, 1), tables.entry(2, 1)
 
 
-def test_fig4_per_loop_alignments(benchmark, emit):
+def test_fig4_per_loop_alignments(benchmark, emit, record):
     e1, e2 = benchmark(build)
+    record("jacobi-L1", makespan=e1.cost)
+    record("jacobi-L2", makespan=e2.cost)
     text = (
         "Fig 4 (a) — L1 alignment:\n"
         + e1.cag.render()

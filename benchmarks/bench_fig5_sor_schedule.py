@@ -39,8 +39,16 @@ def build():
     return res, cells
 
 
-def test_fig5_sor_pipeline_schedule(benchmark, emit, artifact_dir):
+def test_fig5_sor_pipeline_schedule(benchmark, emit, artifact_dir, record):
     res, cells = benchmark(build)
+    bound = sor_pipelined_time(M, N, MODEL).total + 2 * M * MODEL.tc
+    record(
+        "sor-pipelined-16x4",
+        makespan=res.makespan,
+        analytic=bound,
+        band="sor-pipeline-makespan",
+        metrics=res.metrics,
+    )
     emit(
         "fig5_sor_schedule",
         f"Fig 5 — pipelined SOR schedule, A(16x16) X = B on a 4-ring "
@@ -71,5 +79,4 @@ def test_fig5_sor_pipeline_schedule(benchmark, emit, artifact_dir):
         assert by_label[f"X({i})"].proc == (i - 1) // (M // N)
 
     # Makespan bound (plus the final allgather the kernel appends).
-    bound = sor_pipelined_time(M, N, MODEL).total + 2 * M * MODEL.tc
     assert res.makespan <= bound

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codegen import generate_spmd, load_generated
+from repro.costmodel import sor_pipelined_time
 from repro.kernels import make_spd_system, sor_seq
 from repro.lang import sor_program
 from repro.machine import MachineModel, Ring, run_spmd
@@ -32,8 +33,16 @@ def build_and_run():
     return gen, results
 
 
-def test_fig6_generated_sor_program(benchmark, emit):
+def test_fig6_generated_sor_program(benchmark, emit, record):
     gen, results = benchmark(build_and_run)
+    for m, n, makespan, err in results:
+        record(
+            f"sor-gen-m{m}-N{n}",
+            makespan=makespan,
+            analytic=5 * sor_pipelined_time(m, n, MODEL).total,
+            band="sor-pipeline-makespan",
+            extra={"err": err},
+        )
     from repro.codegen.fortran_listing import fortran_listing
 
     report = [

@@ -30,8 +30,9 @@ def build(m: int = 128, nprocs: int = 8):
     return cag, alignment, scheme
 
 
-def test_fig7_gauss_cag(benchmark, emit):
+def test_fig7_gauss_cag(benchmark, emit, record):
     cag, alignment, scheme = benchmark(build)
+    record("gauss-cag", extra={"nodes": len(cag.nodes), "edges": len(cag.edges)})
     emit(
         "fig7_cag_gauss",
         cag.render(title="Fig 7 — component affinity graph of Gauss elimination")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codegen import generate_spmd, load_generated
+from repro.costmodel import gauss_pipelined_time
 from repro.kernels import gauss_seq, make_spd_system
 from repro.lang import gauss_program
 from repro.machine import MachineModel, Ring, run_spmd
@@ -35,8 +36,16 @@ def build_and_run():
     return gen, rows
 
 
-def test_fig8_generated_gauss_program(benchmark, emit):
+def test_fig8_generated_gauss_program(benchmark, emit, record):
     gen, rows = benchmark(build_and_run)
+    for m, n, t_pipe, t_mc, err, _err_np in rows:
+        record(
+            f"gauss-gen-m{m}-N{n}",
+            makespan=t_pipe,
+            analytic=gauss_pipelined_time(m, n, MODEL).total,
+            band="gauss-pipeline-makespan",
+            extra={"t_multicast": t_mc, "err": err},
+        )
     from repro.codegen.fortran_listing import fortran_listing
 
     report = [

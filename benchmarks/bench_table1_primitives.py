@@ -90,12 +90,30 @@ def analytic_costs(m: int, nprocs: int, model):
     }
 
 
-def test_table1_primitive_costs(benchmark, emit, unit_model):
+def test_table1_primitive_costs(benchmark, emit, unit_model, record):
     m, dim = 64, 4
     P = 2**dim
 
     measured = benchmark(measured_costs, m, dim, unit_model)
     analytic = analytic_costs(m, P, unit_model)
+    for name in measured:
+        record(
+            name,
+            makespan=measured[name],
+            analytic=analytic[name],
+            band="primitive-makespan",
+        )
+    emit.json(
+        "table1_primitives",
+        {
+            "m": m,
+            "nprocs": P,
+            "primitives": {
+                name: {"analytic": analytic[name], "simulated": measured[name]}
+                for name in sorted(measured)
+            },
+        },
+    )
 
     table = Table(
         ["Primitive", "paper cost", "analytic", "simulated"],

@@ -37,9 +37,18 @@ def run_three_grids(m: int, n: int, iters: int, model):
     return out
 
 
-def test_table2_jacobi_three_grids(benchmark, emit, model):
+def test_table2_jacobi_three_grids(benchmark, emit, model, record):
     m, n, iters = 64, 16, 4
     measured = benchmark(run_three_grids, m, n, iters, model)
+    for shape, (comp, comm, wait, total) in measured.items():
+        t = jacobi_section3_time(m, *shape, model)
+        record(
+            f"grid-{shape[0]}x{shape[1]}",
+            makespan=total,
+            analytic=t.comp + t.comm,
+            band="jacobi-grid-makespan",
+            extra={"comp": comp, "comm": comm, "wait": wait},
+        )
 
     table = Table(
         ["N1 x N2", "analytic comp", "analytic comm",

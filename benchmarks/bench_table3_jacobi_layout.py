@@ -35,8 +35,13 @@ def build_artifacts():
     return layout, tables, result
 
 
-def test_table3_jacobi_layout(benchmark, emit):
+def test_table3_jacobi_layout(benchmark, emit, record):
     layout, tables, result = benchmark(build_artifacts)
+    record(
+        "jacobi-dp-choice",
+        makespan=result.cost,
+        extra={"segments": len(result.segments)},
+    )
     emit("table3_jacobi_layout", layout + "\n\nDP choice: " + result.describe())
 
     # Each processor holds one full row of A plus its V/B/X elements.

@@ -36,8 +36,9 @@ def build_artifacts():
     return layout, cag, alignment
 
 
-def test_table4_sor_layout(benchmark, emit):
+def test_table4_sor_layout(benchmark, emit, record):
     layout, cag, alignment = benchmark(build_artifacts)
+    record("sor-alignment", extra={"nodes": len(cag.nodes)})
     emit("table4_sor_layout", layout + "\n\nalignment: " + alignment.describe(cag))
 
     # Processor j-1 holds column j of A and the j-th B/X elements.

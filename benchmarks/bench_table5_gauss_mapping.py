@@ -23,8 +23,15 @@ def build_table():
     return choice_tri, choice_back, mapping_table([choice_tri, choice_back])
 
 
-def test_table5_gauss_dependence_mapping(benchmark, emit):
+def test_table5_gauss_dependence_mapping(benchmark, emit, record):
     choice_tri, choice_back, text = benchmark(build_table)
+    record(
+        "gauss-tokens",
+        extra={
+            "rows": len(choice_tri.rows) + len(choice_back.rows),
+            "broadcasts": choice_tri.broadcasts + choice_back.broadcasts,
+        },
+    )
     emit("table5_gauss_mapping", "Table 5 — Gauss token analysis\n" + text)
 
     rows = {str(r.token.site.ref): r for r in choice_tri.rows}

@@ -107,8 +107,16 @@ def aggregation_demo():
     return rows
 
 
-def test_x10_overlap(benchmark, emit):
+def test_x10_overlap(benchmark, emit, record):
     rows = benchmark(sweep)
+    for name, alpha, tb, to, tp, _bit in rows:
+        record(
+            f"{name}-alpha{alpha:g}",
+            makespan=to,
+            analytic=tp,
+            band="overlap-makespan",
+            extra={"t_blocking": tb},
+        )
 
     t1 = Table(
         ["kernel", "alpha", "T blocking", "T overlapped", "T predicted",
@@ -129,6 +137,32 @@ def test_x10_overlap(benchmark, emit):
         t2.add_row([aggregate, msgs, f"{makespan:g}",
                     "yes" if values == expected else "NO"])
     emit("x10_overlap", t1.render() + "\n\n" + t2.render())
+    for aggregate, msgs, makespan, _values in agg:
+        record(
+            f"aggregation-{aggregate}",
+            makespan=makespan,
+            message_count=msgs,
+        )
+    emit.json(
+        "x10_overlap",
+        {
+            "kernels": [
+                {
+                    "kernel": name,
+                    "alpha": alpha,
+                    "t_blocking": tb,
+                    "t_overlapped": to,
+                    "t_predicted": tp,
+                    "bit_identical": bit,
+                }
+                for name, alpha, tb, to, tp, bit in rows
+            ],
+            "aggregation": [
+                {"aggregate_words": a, "wire_messages": msgs, "makespan": t}
+                for a, msgs, t, _v in agg
+            ],
+        },
+    )
 
     # The rewrite never changes numerics.
     assert all(bit for *_rest, bit in rows)

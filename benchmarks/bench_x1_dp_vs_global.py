@@ -43,8 +43,16 @@ def sweep():
     return rows
 
 
-def test_x1_dp_vs_global_alignment(benchmark, emit):
+def test_x1_dp_vs_global_alignment(benchmark, emit, record):
     rows = benchmark(sweep)
+    for m, n, a_dp, a_s3, t_row, t_col, t_2d in rows:
+        record(
+            f"jacobi-m{m}-N{n}",
+            makespan=t_row,
+            analytic=a_dp,
+            band="jacobi-dp-makespan",
+            extra={"t_col": t_col, "t_2d": t_2d, "analytic_s3": a_s3},
+        )
     table = Table(
         ["m", "N", "analytic DP", "analytic best S3", "sim row(DP)", "sim col", "sim 2D"],
         title="X1 — DP per-loop schemes vs global alignment (per iteration)",

@@ -35,8 +35,22 @@ def sweep():
     return rows
 
 
-def test_x2_sor_pipeline_speedup(benchmark, emit):
+def test_x2_sor_pipeline_speedup(benchmark, emit, record):
     rows = benchmark(sweep)
+    for m, n, t_naive, t_pipe, t_ov in rows:
+        record(
+            f"sor-pipe-m{m}-N{n}",
+            makespan=t_pipe,
+            analytic=sor_pipelined_time(m, n, MODEL).total,
+            band="sor-pipeline-makespan",
+            extra={"t_overlap": t_ov},
+        )
+        record(
+            f"sor-naive-m{m}-N{n}",
+            makespan=t_naive,
+            analytic=sor_naive_time(m, n, MODEL).total,
+            band="sor-naive-makespan",
+        )
     table = Table(
         ["m", "N", "naive", "pipelined", "pipelined+overlap", "speedup",
          "analytic naive", "analytic pipe"],

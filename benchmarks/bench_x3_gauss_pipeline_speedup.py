@@ -31,8 +31,18 @@ def sweep():
     return rows
 
 
-def test_x3_gauss_pipeline_speedup(benchmark, emit):
+def test_x3_gauss_pipeline_speedup(benchmark, emit, record):
     rows = benchmark(sweep)
+    for m, n, t_b, t_p, t_b_a, t_p_a in rows:
+        record(
+            f"gauss-pipe-m{m}-N{n}",
+            makespan=t_p,
+            extra={
+                "t_multicast": t_b,
+                "t_multicast_alpha100": t_b_a,
+                "t_pipe_alpha100": t_p_a,
+            },
+        )
     table = Table(
         ["m", "N", "multicast", "pipelined", "speedup",
          "multicast (alpha=100)", "pipelined (alpha=100)", "speedup (alpha)"],

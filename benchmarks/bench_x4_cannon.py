@@ -38,8 +38,15 @@ def sweep():
     return rows
 
 
-def test_x4_cannon_matmul(benchmark, emit):
+def test_x4_cannon_matmul(benchmark, emit, record):
     rows = benchmark(sweep)
+    for n, q, t, msgs, words, err, metrics, _cp in rows:
+        record(
+            f"cannon-q{q}",
+            makespan=t,
+            metrics=metrics,
+            extra={"n": n, "err": err},
+        )
     table = Table(
         ["n", "grid", "makespan", "messages", "words", "max|err|"],
         title="X4 — Cannon matmul on rotated layouts (block 16x16 per proc)",

@@ -41,8 +41,22 @@ def sweep():
     return m, curves
 
 
-def test_x5_speedup_curves(benchmark, emit):
+def test_x5_speedup_curves(benchmark, emit, record):
     m, curves = benchmark(sweep)
+    for k, curve in curves.items():
+        for n in NS:
+            record(f"{k}-N{n}", makespan=curve[n])
+    emit.json(
+        "x5_scalability",
+        {
+            "m": m,
+            "curves": {k: {str(n): curves[k][n] for n in NS} for k in sorted(curves)},
+            "speedups": {
+                k: {str(n): curves[k][1] / curves[k][n] for n in NS}
+                for k in sorted(curves)
+            },
+        },
+    )
     table = Table(
         ["N"] + [f"{k} T" for k in curves] + [f"{k} speedup" for k in curves],
         title=f"X5 — simulated speedup at m={m} (tf=1, tc=10)",

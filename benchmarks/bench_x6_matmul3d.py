@@ -52,8 +52,18 @@ def sweep():
     return rows
 
 
-def test_x6_matmul_3d_grid(benchmark, emit):
+def test_x6_matmul_3d_grid(benchmark, emit, record):
     rows = benchmark(sweep)
+    for e in rows:
+        record(
+            f"cannon-P{e['P']}",
+            makespan=e["cannon_T"],
+            message_words=e["cannon_words"],
+        )
+        if "d3_T" in e:
+            record(
+                f"3d-P{e['P']}", makespan=e["d3_T"], message_words=e["d3_words"]
+            )
     table = Table(
         ["P", "n", "Cannon T", "Cannon words", "3-D T", "3-D words", "volume ratio"],
         title="X6 — 2-D (Cannon) vs 3-D matmul at equal processor count",

@@ -88,8 +88,15 @@ def sweep():
     return rows
 
 
-def test_x7_halo_vs_replication(benchmark, emit):
+def test_x7_halo_vs_replication(benchmark, emit, record):
     rows = benchmark(sweep)
+    for m, n, t_h, t_r, w_h, w_r, _same in rows:
+        record(
+            f"halo-m{m}-N{n}",
+            makespan=t_h,
+            message_words=w_h,
+            extra={"t_replicate": t_r, "w_replicate": w_r},
+        )
     table = Table(
         ["m", "N", "halo T", "replicate T", "halo words", "replicate words", "speedup"],
         title="X7 — stencil: neighbor halo exchange vs whole-array replication",

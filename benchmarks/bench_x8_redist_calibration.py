@@ -77,8 +77,17 @@ def sweep():
     return rows
 
 
-def test_x8_primitive_calibration(benchmark, emit):
+def test_x8_primitive_calibration(benchmark, emit, record):
     rows = benchmark(sweep)
+    for label, grid, extent, exact, analytic, measured, _correct in rows:
+        if exact and analytic:
+            record(
+                f"{label}-{grid[0]}x{grid[1]}-m{extent}",
+                measured=measured,
+                analytic=analytic,
+                band="redist-words",
+                message_words=measured,
+            )
     table = Table(
         ["primitive", "grid", "m", "lowering", "analytic", "measured", "ratio",
          "sections"],
@@ -100,13 +109,20 @@ def test_x8_primitive_calibration(benchmark, emit):
         assert analytic <= measured <= 2 * analytic, (label, grid, extent)
 
 
-def test_x8_jacobi_chain_validates(emit):
+def test_x8_jacobi_chain_validates(emit, record):
     tables, result, validation = solve_program_distribution(
         jacobi_program(), 16, {"m": 256, "maxiter": 1}, MODEL, execute=True
     )
     emit("x8_jacobi_chain", validation.describe())
     assert validation.ok
     loop = next(t for t in validation.transitions if t.label == "loop[X]")
+    record(
+        "jacobi-chain-loopX",
+        measured=loop.measured_words("engine"),
+        analytic=loop.analytic_words,
+        band="redist-words",
+        message_words=loop.measured_words("engine"),
+    )
     # The paper's CTime2 move: measured words equal the analytic volume.
     assert loop.measured_words("engine") == loop.analytic_words == 3840
     assert loop.measured_words("threaded") == 3840

@@ -42,8 +42,19 @@ def sweep():
     return rows
 
 
-def test_x9_resilience_overhead(benchmark, emit):
+def test_x9_resilience_overhead(benchmark, emit, record):
     rows = benchmark(sweep)
+    for m, plain, acked, ckpt in rows:
+        record(
+            f"jacobi-m{m}",
+            makespan=plain.makespan,
+            metrics=plain.metrics,
+            extra={
+                "acked": acked.makespan,
+                "ckpt": ckpt.makespan,
+                "ack_ratio": acked.makespan / plain.makespan,
+            },
+        )
     table = Table(
         ["m", "plain", "acked", "acked+ckpt", "ack overhead", "ckpt overhead",
          "acks"],

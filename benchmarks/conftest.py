@@ -5,15 +5,24 @@ it (visible with ``pytest benchmarks/ -s``) and writes it to
 ``benchmarks/artifacts/<id>.txt`` so EXPERIMENTS.md can reference stable
 outputs.  Shape assertions (who wins, crossovers) run inside the
 benchmarks themselves.
+
+Benchmarks additionally report their headline numbers through the
+``record`` fixture as :class:`repro.tools.benchlib.BenchResult` rows —
+the machine-readable side of the harness.  At session end the collected
+records are written as one schema-versioned JSON file: to
+``$REPRO_BENCH_RECORDS`` when :mod:`repro.tools.bench` drives the run,
+else to ``benchmarks/artifacts/bench_records.json``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.machine.model import MachineModel
+from repro.tools import benchlib
 
 ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
 
@@ -26,14 +35,53 @@ def artifact_dir() -> pathlib.Path:
 
 @pytest.fixture
 def emit(artifact_dir, request):
-    """Return a function writing (and printing) one named artifact."""
+    """Return a function writing (and printing) one named artifact.
+
+    The returned function also exposes ``emit.json(name, payload)``
+    which writes a structured ``artifacts/<name>.json`` companion via
+    :func:`repro.tools.benchlib.write_json_artifact` (the ``.txt``
+    output is unchanged).
+    """
 
     def _emit(name: str, text: str) -> None:
         path = artifact_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n=== {name} ===\n{text}\n")
 
+    def _emit_json(name: str, payload: dict) -> pathlib.Path:
+        return benchlib.write_json_artifact(artifact_dir, name, payload)
+
+    _emit.json = _emit_json
     return _emit
+
+
+@pytest.fixture(scope="session")
+def _bench_records():
+    """Session-wide list of BenchResult rows, flushed to JSON at exit."""
+    results: list[benchlib.BenchResult] = []
+    yield results
+    target = os.environ.get("REPRO_BENCH_RECORDS")
+    path = pathlib.Path(target) if target else ARTIFACTS / "bench_records.json"
+    benchlib.write_records(path, results)
+
+
+@pytest.fixture
+def record(_bench_records, request):
+    """Append one BenchResult for this benchmark; returns the row.
+
+    The ``bench`` id is derived from the module name (``bench_x5_...``
+    -> ``x5_...``); callers pass the ``kernel`` plus any of the schema
+    fields (``makespan=``, ``analytic=``, ``band=``, ``metrics=``, ...).
+    """
+    module = request.module.__name__.rpartition(".")[2]
+    bench = module[len("bench_"):] if module.startswith("bench_") else module
+
+    def _record(kernel: str, **fields) -> benchlib.BenchResult:
+        row = benchlib.BenchResult(bench=bench, kernel=kernel, **fields)
+        _bench_records.append(row)
+        return row
+
+    return _record
 
 
 @pytest.fixture

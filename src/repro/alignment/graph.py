@@ -16,6 +16,7 @@ from repro.lang.analysis import RefSite, collect_ref_sites
 from repro.lang.ast import ArrayRef, Program, Stmt
 from repro.machine.model import MachineModel
 from repro.alignment.weights import WeightTerm, edge_weight
+from repro.util.spans import spanned
 from repro.util.tables import Table
 
 Node = tuple[str, int]  # (array name, 1-based dimension)
@@ -85,6 +86,7 @@ def _edge_pairs(site_a: RefSite, site_b: RefSite) -> list[tuple[int, int]]:
     return pairs
 
 
+@spanned("alignment/cag")
 def build_cag(
     fragment: Program | list[Stmt],
     program: Program,

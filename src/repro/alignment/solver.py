@@ -22,6 +22,7 @@ from repro.alignment.graph import CAG, Node
 from repro.distribution.function import Kind
 from repro.distribution.schemes import ArrayPlacement, Scheme
 from repro.errors import AlignmentError
+from repro.util.spans import spanned
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,7 @@ def _merge_groups(
     return groups
 
 
+@spanned("alignment/solve")
 def exact_alignment(
     cag: CAG,
     q: int = 2,
@@ -187,6 +189,7 @@ def exact_alignment(
     )
 
 
+@spanned("alignment/solve")
 def greedy_alignment(
     cag: CAG,
     q: int = 2,

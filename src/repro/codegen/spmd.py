@@ -35,6 +35,7 @@ from repro.codegen.runtime_api import runtime_namespace
 from repro.errors import CodegenError
 from repro.lang.ast import Program
 from repro.pipeline.mapping import choose_mapping
+from repro.util.spans import spanned
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,7 @@ class GeneratedProgram:
         return ()
 
 
+@spanned("codegen/emit")
 def generate_spmd(program: Program, strategy: str | None = None) -> GeneratedProgram:
     """Recognize *program* and emit SPMD source for it.
 

@@ -1,5 +1,6 @@
 """Analytic cost model: Table 1 primitives, loop-nest costs, grid search."""
 
+from repro.costmodel.bands import BANDS, SlackBand, check_ratio, get_band
 from repro.costmodel.primitives import CommCosts
 from repro.costmodel.formulas import (
     gauss_broadcast_time,
@@ -13,6 +14,10 @@ from repro.costmodel.loopcost import CostTerm, LoopCost, estimate_loop_cost
 from repro.costmodel.gridsearch import best_grid, grid_candidates
 
 __all__ = [
+    "BANDS",
+    "SlackBand",
+    "check_ratio",
+    "get_band",
     "CommCosts",
     "jacobi_section3_time",
     "jacobi_dp_time",

@@ -46,6 +46,7 @@ from repro.errors import AlignmentError, CostModelError
 from repro.lang.analysis import collect_ref_sites
 from repro.lang.ast import DoLoop, Program, Stmt
 from repro.machine.model import MachineModel
+from repro.util.spans import span
 
 
 @dataclass(frozen=True)
@@ -154,18 +155,22 @@ class PhaseTables:
             return f"L{start}" if length == 1 else f"L{start}..L{start + length - 1}"
 
         out: list[tuple[str, RedistPlan]] = []
-        chain = result.schemes
-        bounds = result.segments
-        for k in range(len(chain) - 1):
-            label = f"{seg_label(*bounds[k])} -> {seg_label(*bounds[k + 1])}"
-            out.append((label, self.change_plan(chain[k], chain[k + 1])))
-        if chain:
-            for plan in self.loop_carried_plans(chain[0], chain[-1]):
-                out.append((f"loop[{plan.src.array}]", plan))
+        with span("redist/plan"):
+            chain = result.schemes
+            bounds = result.segments
+            for k in range(len(chain) - 1):
+                label = f"{seg_label(*bounds[k])} -> {seg_label(*bounds[k + 1])}"
+                out.append((label, self.change_plan(chain[k], chain[k + 1])))
+            if chain:
+                for plan in self.loop_carried_plans(chain[0], chain[-1]):
+                    out.append((f"loop[{plan.src.array}]", plan))
         return out
 
     def solve(self) -> DPResult:
-        return algorithm1(self.s, self.M, self.P, self.change_cost, self.loop_carried_cost)
+        with span("dp/solve"):
+            return algorithm1(
+                self.s, self.M, self.P, self.change_cost, self.loop_carried_cost
+            )
 
 
 def _segment_scheme(
@@ -219,6 +224,18 @@ def build_phase_tables(
     if not loops:
         raise CostModelError("no loops to distribute")
 
+    with span("dp/tables"):
+        return _build_entries(program, nprocs, env, model, outer, loops)
+
+
+def _build_entries(
+    program: Program,
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel,
+    outer: DoLoop | None,
+    loops: list[DoLoop],
+) -> PhaseTables:
     tables = PhaseTables(
         program=program,
         loops=list(loops),
@@ -231,9 +248,10 @@ def build_phase_tables(
     for i in range(1, s + 1):
         for j in range(1, s - i + 2):
             stmts: list[Stmt] = list(loops[i - 1 : i - 1 + j])
-            scheme, alignment, cag = _segment_scheme(
-                stmts, program, env, model, nprocs, name=f"P[{i},{j}]"
-            )
+            with span("alignment/segment"):
+                scheme, alignment, cag = _segment_scheme(
+                    stmts, program, env, model, nprocs, name=f"P[{i},{j}]"
+                )
             best_cost = float("inf")
             best_grid = (nprocs, 1)
             for grid in grid_candidates(nprocs):
@@ -278,5 +296,6 @@ def solve_program_distribution(
         return tables, result
     from repro.dp.validate import validate_transitions
 
-    validation = validate_transitions(tables, result, backends=backends)
+    with span("redist/execute"):
+        validation = validate_transitions(tables, result, backends=backends)
     return tables, result, validation

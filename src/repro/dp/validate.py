@@ -41,9 +41,14 @@ from repro.machine.engine import run_spmd
 from repro.machine.threaded import run_spmd_threaded
 from repro.machine.topology import Grid2D
 
-#: Documented word-count slack band for exact literal lowerings.
-WORD_SLACK_LOWER = 1.0
-WORD_SLACK_UPPER = 2.0
+from repro.costmodel.bands import REDIST_WORDS
+
+#: Documented word-count slack band for exact literal lowerings; the
+#: canonical definition lives in the central registry
+#: (:data:`repro.costmodel.bands.REDIST_WORDS`) — these aliases keep the
+#: historical names importable.
+WORD_SLACK_LOWER = REDIST_WORDS.lower
+WORD_SLACK_UPPER = REDIST_WORDS.upper
 
 _BACKENDS = {
     "engine": run_spmd,

@@ -33,6 +33,9 @@ TIME_SCALE = 1e6
 #: ``tid`` offset of the per-rank nonblocking request lanes.
 REQUEST_TID_BASE = 1000
 
+#: ``tid`` of the compiler-phase lane (wall-clock spans, ISSUE 5).
+COMPILER_TID = 2000
+
 #: Event kinds drawn on the request lane instead of the rank's main lane.
 _REQUEST_KINDS = ("isend", "irecv")
 
@@ -139,14 +142,55 @@ def chrome_trace_events(
     return events
 
 
+def compiler_lane_events(spans, lane_name: str = "compiler") -> list[dict]:
+    """Draw wall-clock compiler spans as one extra Perfetto lane.
+
+    *spans* is a list of :class:`repro.util.spans.Span` (or dicts with
+    ``name``/``start``/``end`` keys, seconds).  The lane shares the trace
+    process (``pid`` 0) under ``tid`` :data:`COMPILER_TID`; nesting is
+    expressed by time containment, which Perfetto renders as a flame
+    graph.  Compile time and simulated run time thereby share one
+    timeline (both start at t=0; the units differ — wall seconds vs
+    simulated seconds — which ``args.clock`` records).
+    """
+    events: list[dict] = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": COMPILER_TID,
+         "args": {"name": lane_name}},
+    ]
+    for s in spans:
+        if not isinstance(s, dict):
+            s = s.as_dict()
+        events.append(
+            {
+                "name": s["name"],
+                "cat": "compile",
+                "ph": "X",
+                "ts": s["start"] * TIME_SCALE,
+                "dur": (s["end"] - s["start"]) * TIME_SCALE,
+                "pid": 0,
+                "tid": COMPILER_TID,
+                "args": {"clock": "wall", "depth": s.get("depth", 0)},
+            }
+        )
+    return events
+
+
 def chrome_trace_json(
     trace: list[list[TraceEvent]],
     process_name: str = "spmd",
     metadata: dict | None = None,
+    spans=None,
 ) -> dict:
-    """A complete JSON-object-format trace document."""
+    """A complete JSON-object-format trace document.
+
+    Pass *spans* (from :class:`repro.util.spans.SpanRecorder`) to add the
+    compiler-phase lane next to the simulated rank lanes.
+    """
+    events = chrome_trace_events(trace, process_name=process_name)
+    if spans:
+        events.extend(compiler_lane_events(spans))
     doc = {
-        "traceEvents": chrome_trace_events(trace, process_name=process_name),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
     if metadata:
@@ -159,9 +203,12 @@ def write_chrome_trace(
     trace: list[list[TraceEvent]],
     process_name: str = "spmd",
     metadata: dict | None = None,
+    spans=None,
 ) -> pathlib.Path:
     """Write a Perfetto-loadable trace file and return its path."""
     path = pathlib.Path(path)
-    doc = chrome_trace_json(trace, process_name=process_name, metadata=metadata)
+    doc = chrome_trace_json(
+        trace, process_name=process_name, metadata=metadata, spans=spans
+    )
     path.write_text(json.dumps(doc, indent=1))
     return path

@@ -284,7 +284,14 @@ class Metrics:
         return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
-        """JSON-serializable snapshot (for artifact files and tooling)."""
+        """JSON-serializable snapshot (for artifact files and tooling).
+
+        Fully round-trippable through :meth:`from_dict` and deterministic:
+        every histogram is emitted in sorted key order (tags numerically,
+        kinds/collectives/faults lexically), so two runs with identical
+        traffic serialize to byte-identical JSON regardless of dict
+        insertion order.
+        """
 
         def stats(s: GroupStats) -> dict:
             return {
@@ -315,8 +322,48 @@ class Metrics:
                 }
                 for r in self.ranks
             ],
-            "by_kind": {k: stats(v) for k, v in self.by_kind.items()},
-            "by_tag": {str(k): stats(v) for k, v in self.by_tag.items()},
-            "by_collective": {k: stats(v) for k, v in self.by_collective.items()},
-            "faults": dict(self.faults),
+            "by_kind": {k: stats(self.by_kind[k]) for k in sorted(self.by_kind)},
+            "by_tag": {str(k): stats(self.by_tag[k]) for k in sorted(self.by_tag)},
+            "by_collective": {
+                k: stats(self.by_collective[k]) for k in sorted(self.by_collective)
+            },
+            "faults": {k: self.faults[k] for k in sorted(self.faults)},
         }
+
+    @classmethod
+    def from_dict(cls, data: dict, threadsafe: bool = False) -> "Metrics":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        The inverse is exact: ``Metrics.from_dict(m.as_dict()).as_dict()
+        == m.as_dict()`` (the derived ``message_count``/``message_words``
+        and ``overlap_ratio`` entries are recomputed, not trusted).
+        """
+
+        def stats(d: dict) -> GroupStats:
+            return GroupStats(
+                events=int(d["events"]),
+                seconds=float(d["seconds"]),
+                messages=int(d["messages"]),
+                words=int(d["words"]),
+            )
+
+        m = cls(nprocs=int(data["nprocs"]), threadsafe=threadsafe)
+        for entry in data.get("ranks", []):
+            r = m.ranks[int(entry["rank"])]
+            r.compute_seconds = float(entry["compute_seconds"])
+            r.delay_seconds = float(entry["delay_seconds"])
+            r.comm_seconds = float(entry["comm_seconds"])
+            r.wait_seconds = float(entry["wait_seconds"])
+            r.messages_sent = int(entry["messages_sent"])
+            r.messages_received = int(entry["messages_received"])
+            r.words_sent = int(entry["words_sent"])
+            r.words_received = int(entry["words_received"])
+            r.inflight_seconds = float(entry["inflight_seconds"])
+            r.hidden_seconds = float(entry["hidden_seconds"])
+        m.by_kind = {k: stats(v) for k, v in data.get("by_kind", {}).items()}
+        m.by_tag = {int(k): stats(v) for k, v in data.get("by_tag", {}).items()}
+        m.by_collective = {
+            k: stats(v) for k, v in data.get("by_collective", {}).items()
+        }
+        m.faults = {k: int(v) for k, v in data.get("faults", {}).items()}
+        return m

@@ -1,0 +1,23 @@
+"""``python -m repro.tools`` — list the command-line tools.
+
+The package ships two executables::
+
+    python -m repro.tools.report   # regenerate paper artifacts / smokes
+    python -m repro.tools.bench    # benchmark runner + regression gate
+
+Running the bare package prints this usage and exits 0, so discovery
+never requires reading the source.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    print(__doc__.strip())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,26 @@
-"""Shared utilities: table rendering and number formatting."""
+"""Shared utilities: table rendering, number formatting, span profiling."""
 
 from repro.util.fmt import eng, fixed, ratio
+from repro.util.spans import (
+    Span,
+    SpanRecorder,
+    current_recorder,
+    recording,
+    span,
+    spanned,
+)
 from repro.util.tables import Table, render_grid
 
-__all__ = ["Table", "render_grid", "eng", "fixed", "ratio"]
+__all__ = [
+    "Table",
+    "render_grid",
+    "eng",
+    "fixed",
+    "ratio",
+    "Span",
+    "SpanRecorder",
+    "current_recorder",
+    "recording",
+    "span",
+    "spanned",
+]

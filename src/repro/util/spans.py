@@ -1,0 +1,139 @@
+"""Wall-clock span instrumentation for the compiler passes.
+
+The simulator side of the repo measures *simulated* seconds; this module
+is the real-time twin for the compiler itself (ISSUE 5): alignment, the
+Algorithm 1 DP, redistribution planning and code generation are wrapped
+in :func:`span` context managers which are free when no recorder is
+installed (one context-variable read) and record nested wall-clock
+intervals when run under :func:`recording`.
+
+Usage::
+
+    with recording() as rec:
+        tables, result = solve_program_distribution(...)
+    rec.totals()        # {"alignment/cag": 0.012, "dp/solve": ...}
+    rec.as_dicts()      # JSON-ready span list, sorted by start time
+
+Spans nest naturally (``depth`` records the nesting level at entry), so
+the recorded list can be rendered as a flame graph — see
+:func:`repro.machine.export.chrome_trace_events`, which draws them as a
+dedicated *compiler* lane next to the simulated-run lanes, putting
+compile time and run time on one Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed wall-clock interval, relative to the recorder epoch."""
+
+    name: str
+    start: float
+    end: float
+    depth: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+            "duration": self.duration,
+        }
+
+
+class SpanRecorder:
+    """Collects spans; install one with :func:`recording`."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._depth = 0
+        self._epoch = time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str):
+        depth = self._depth
+        self._depth += 1
+        start = time.perf_counter() - self._epoch
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            end = time.perf_counter() - self._epoch
+            self.spans.append(Span(name, start, end, depth))
+
+    # -- views -----------------------------------------------------------
+    def sorted_spans(self) -> list[Span]:
+        """Spans in start order (they are appended in *end* order)."""
+        return sorted(self.spans, key=lambda s: (s.start, s.depth))
+
+    def totals(self) -> dict[str, float]:
+        """Summed duration per span name, deterministically ordered."""
+        out: dict[str, float] = {}
+        for s in self.sorted_spans():
+            out[s.name] = out.get(s.name, 0.0) + s.duration
+        return dict(sorted(out.items()))
+
+    @property
+    def wall_seconds(self) -> float:
+        """End of the latest span (total instrumented wall clock)."""
+        return max((s.end for s in self.spans), default=0.0)
+
+    def as_dicts(self) -> list[dict]:
+        return [s.as_dict() for s in self.sorted_spans()]
+
+
+_current: ContextVar[SpanRecorder | None] = ContextVar(
+    "repro_span_recorder", default=None
+)
+
+
+def current_recorder() -> SpanRecorder | None:
+    return _current.get()
+
+
+@contextmanager
+def recording():
+    """Install a fresh :class:`SpanRecorder` for the enclosed block."""
+    rec = SpanRecorder()
+    token = _current.set(rec)
+    try:
+        yield rec
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str):
+    """Record *name* if a recorder is installed; otherwise do nothing."""
+    rec = _current.get()
+    if rec is None:
+        yield
+        return
+    with rec.span(name):
+        yield
+
+
+def spanned(name: str):
+    """Decorator form of :func:`span` for whole-function phases."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
