@@ -22,6 +22,15 @@ scheduling order — the simulation is deterministic.  Fault injection
 functions of ``(seed, channel, attempt)``, so a seeded crash-free plan
 moves clocks but never payloads.
 
+The scheduler is an indexed event calendar (:class:`EventCalendar`):
+one heap holding ready events (FIFO by a monotonic sequence number) and
+timed-receive deadlines (ordered by ``(deadline, rank)``), plus reverse
+indexes from parked ranks to their channels and from source ranks to
+the nonblocking waiters listening on them.  Every scheduler step is
+O(log N) or better — no full scans — while reproducing the historic
+deque scheduler's event order bit-exactly (see ``docs/ENGINE.md`` for
+the tie-break contract and the parity goldens that pin it).
+
 The engine detects deadlock (every live processor blocked on an empty
 channel) and raises :class:`repro.errors.DeadlockError` carrying a
 :class:`repro.machine.forensics.DeadlockReport`.
@@ -33,6 +42,7 @@ from collections import deque
 from collections.abc import Callable, Generator, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from heapq import heappop, heappush
 from typing import Any
 
 import numpy as np
@@ -48,7 +58,7 @@ from repro.machine.forensics import RECENT_EVENTS, build_report
 from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
-from repro.machine.trace import TraceEvent
+from repro.machine.trace import TraceLane
 
 Channel = tuple[int, int, int]  # (source, dest, tag)
 
@@ -91,6 +101,74 @@ class _TimedOut:
 TIMED_OUT = _TimedOut()
 
 
+#: Heap time of a ready event.  Every timed-receive deadline is clamped
+#: to the (nonnegative) local clock, so READY sorts strictly before any
+#: deadline: ready work always drains before a timeout may fire.
+READY = -1.0
+
+
+class EventCalendar:
+    """Indexed event calendar: one heap of ``(time, a, b)`` entries.
+
+    Two entry shapes share the heap:
+
+    * ready events ``(READY, seq, rank)`` — *seq* is a monotonically
+      increasing counter, so among ready events the heap pops in exact
+      FIFO push order (the historic deque scheduler's order);
+    * timeout events ``(deadline, rank, gen)`` — among due timeouts the
+      heap pops the smallest ``(deadline, rank)``, the historic
+      ``min(self._timed, ...)`` tie-break, reproduced bit-exactly.
+
+    Timeout entries are invalidated lazily: cancelling (or re-arming) a
+    rank's deadline bumps its generation counter and the stale heap entry
+    is discarded when it surfaces.  ``timed`` is the live rank → deadline
+    view (consumed by the deadlock forensics report).
+    """
+
+    __slots__ = ("_heap", "_seq", "timed", "_gen")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+        self.timed: dict[int, float] = {}
+        self._gen: dict[int, int] = {}
+
+    def push_ready(self, rank: int) -> None:
+        self._seq += 1
+        heappush(self._heap, (READY, self._seq, rank))
+
+    def push_timeout(self, rank: int, deadline: float) -> None:
+        self.timed[rank] = deadline
+        gen = self._gen.get(rank, 0) + 1
+        self._gen[rank] = gen
+        heappush(self._heap, (deadline, rank, gen))
+
+    def cancel_timeout(self, rank: int) -> None:
+        if self.timed.pop(rank, None) is not None:
+            self._gen[rank] += 1  # the heap entry is now stale
+
+    def pop_ready(self) -> int | None:
+        """Next runnable rank in FIFO order, or ``None`` when drained."""
+        heap = self._heap
+        if heap and heap[0][0] == READY:
+            return heappop(heap)[2]
+        return None
+
+    def pop_due_timeout(self) -> int | None:
+        """Disarm and return the earliest live timed waiter, if any."""
+        heap = self._heap
+        gen = self._gen
+        while heap:
+            time, rank, g = heap[0]
+            if time == READY:
+                return None
+            heappop(heap)
+            if gen.get(rank) == g:
+                del self.timed[rank]
+                return rank
+        return None
+
+
 def _payload_words(data: Any, path: str = "payload") -> int:
     """Number of machine words a payload occupies on the wire.
 
@@ -127,7 +205,7 @@ def _payload_copy(data: Any) -> Any:
     return data
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     data: Any
     words: int
@@ -157,7 +235,9 @@ class RunResult:
         synthesized for reliable transfers are accounted in
         ``metrics.faults`` instead).
     trace:
-        Per-rank event lists (only when tracing was enabled).
+        Per-rank event lanes (only when tracing was enabled).  Lanes are
+        :class:`repro.machine.trace.TraceLane` sequences that materialize
+        :class:`~repro.machine.trace.TraceEvent` objects lazily.
     metrics:
         Aggregated per-rank / per-tag / per-collective counters
         (:class:`repro.machine.metrics.Metrics`), always populated.
@@ -167,7 +247,7 @@ class RunResult:
     finish_times: list[float]
     message_count: int
     message_words: int
-    trace: list[list[TraceEvent]] | None = None
+    trace: list[TraceLane] | None = None
     metrics: Metrics | None = None
 
     @property
@@ -186,6 +266,10 @@ class Proc:
         self.rank = rank
         self.clock = 0.0
         self.scope = ""  # active collective label stack (see scoped())
+        # Channel endpoints already validated by _check_channel; endpoint
+        # validity is stateless, so successes are cached per direction.
+        self._ok_send: set[tuple[int, int]] = set()
+        self._ok_recv: set[tuple[int, int]] = set()
 
     # -- identity -------------------------------------------------------
     @property
@@ -253,23 +337,34 @@ class Proc:
         """Account *flops* floating-point operations of local work."""
         if flops < 0:
             raise MachineError(f"negative flops: {flops}")
+        engine = self._engine
         start = self.clock
-        self.clock += self._scaled(self._engine.model.flops(flops))
-        self._engine.record(
-            self.rank, "compute", start, self.clock, detail=label, words=0, scope=self.scope
+        seconds = engine.model.flops(flops)
+        faults = engine.faults
+        if faults is not None:
+            seconds *= faults.slowdown(self.rank)
+        self.clock = start + seconds
+        engine.record(
+            self.rank, "compute", start, self.clock, None, 0, 0, label, self.scope
         )
-        self._maybe_crash()
+        if faults is not None:
+            self._maybe_crash()
 
     def delay(self, seconds: float, label: str = "") -> None:
         """Advance the local clock by raw simulated seconds."""
         if seconds < 0:
             raise MachineError(f"negative delay: {seconds}")
+        engine = self._engine
         start = self.clock
-        self.clock += self._scaled(seconds)
-        self._engine.record(
-            self.rank, "delay", start, self.clock, detail=label, words=0, scope=self.scope
+        faults = engine.faults
+        if faults is not None:
+            seconds = seconds * faults.slowdown(self.rank)
+        self.clock = start + seconds
+        engine.record(
+            self.rank, "delay", start, self.clock, None, 0, 0, label, self.scope
         )
-        self._maybe_crash()
+        if faults is not None:
+            self._maybe_crash()
 
     # -- point-to-point ---------------------------------------------------
     def _check_channel(self, peer: int, tag: int, sending: bool) -> None:
@@ -315,38 +410,49 @@ class Proc:
         (:meth:`MachineModel.posted_wire_latency`); the event is recorded
         as ``isend`` instead of ``send``.
         """
-        self._check_channel(dest, tag, sending=True)
+        engine = self._engine
+        if (dest, tag) not in self._ok_send:
+            self._check_channel(dest, tag, sending=True)
+            self._ok_send.add((dest, tag))
         nwords = _payload_words(data) if words is None else int(words)
         if nwords < 0:
             raise CommunicationError(f"negative message size {nwords}")
-        model = self._engine.model
+        model = engine.model
+        faults = engine.faults
         start = self.clock
-        hops = self._engine.topology.hops(self.rank, dest)
+        hops_cache = engine._hops
+        key = (self.rank, dest)
+        hops = hops_cache.get(key)
+        if hops is None:
+            hops = hops_cache[key] = engine.topology.hops(self.rank, dest)
         if posted:
-            self.clock += self._scaled(model.post_occupancy(nwords))
+            occupancy = model.post_occupancy(nwords)
+            if faults is not None:
+                occupancy *= faults.slowdown(self.rank)
+            self.clock = start + occupancy
             available = self.clock + model.posted_wire_latency(nwords, hops)
+            kind = "isend"
         else:
-            self.clock += self._scaled(model.send_occupancy(nwords))
+            occupancy = model.send_occupancy(nwords)
+            if faults is not None:
+                occupancy *= faults.slowdown(self.rank)
+            self.clock = start + occupancy
             available = self.clock + model.wire_latency(nwords, hops)
+            kind = "send"
         msg = _Message(
-            data=_payload_copy(data),
-            words=nwords,
-            available=available,
-            sent_at=start,
-            source=self.rank,
-            dest=dest,
-            tag=tag,
-            seq=seq,
+            _payload_copy(data), nwords, available, start, self.rank, dest, tag, seq
         )
         # Record the send before dispatching: dispatch may append
         # zero-duration fault markers at the send's end time, and lanes
         # must stay time-ordered for the critical-path walker.
-        self._engine.record(
-            self.rank, "isend" if posted else "send", start, self.clock,
-            peer=dest, words=nwords, tag=tag, scope=self.scope,
+        engine.record(
+            self.rank, kind, start, self.clock, dest, nwords, tag, "", self.scope
         )
-        self._dispatch(msg)
-        self._maybe_crash()
+        if faults is None and seq is None:
+            engine.deliver(msg)  # fast path: nothing to inject or ack
+        else:
+            self._dispatch(msg)
+            self._maybe_crash()
 
     def _dispatch(self, msg: _Message) -> None:
         """Route one message copy through the fault plan, then commit it.
@@ -479,13 +585,14 @@ class Proc:
         channel: Channel = (source, self.rank, tag)
         block_start = self.clock
         engine = self._engine
-        msg: _Message | None = None
-        while msg is None:
-            if deadline is None:
+        if deadline is None:
+            msg = engine.try_pop(channel)
+            while msg is None:
+                yield (channel, None)  # parked by the engine until a send arrives
                 msg = engine.try_pop(channel)
-                if msg is not None:
-                    break
-            else:
+        else:
+            msg = None
+            while msg is None:
                 if engine.consume_timeout(self.rank):
                     return self._timeout(block_start, source, tag, deadline)
                 status, popped = engine.try_pop_before(channel, deadline)
@@ -496,20 +603,26 @@ class Proc:
                     # A message exists but arrives after the deadline:
                     # the timeout fires first in simulated time.
                     return self._timeout(block_start, source, tag, deadline)
-            yield (channel, deadline)  # parked by the engine until a send arrives
-        model = engine.model
-        arrival = max(block_start, msg.available)
+                yield (channel, deadline)
+        arrival = msg.available
         if arrival > block_start:
             engine.record(
-                self.rank, "wait", block_start, arrival, peer=source, words=msg.words,
-                tag=tag, scope=self.scope,
+                self.rank, "wait", block_start, arrival, source, msg.words, tag,
+                "", self.scope,
             )
-        self.clock = arrival + self._scaled(model.recv_occupancy(msg.words))
+        else:
+            arrival = block_start
+        occupancy = engine.model.recv_occupancy(msg.words)
+        faults = engine.faults
+        if faults is not None:
+            occupancy *= faults.slowdown(self.rank)
+        self.clock = arrival + occupancy
         engine.record(
-            self.rank, "recv", arrival, self.clock, peer=source, words=msg.words, tag=tag,
-            scope=self.scope,
+            self.rank, "recv", arrival, self.clock, source, msg.words, tag,
+            "", self.scope,
         )
-        self._maybe_crash()
+        if faults is not None:
+            self._maybe_crash()
         return msg.data
 
     def recv(self, source: int, tag: int = 0) -> Generator[Any, None, Any]:
@@ -519,9 +632,15 @@ class Proc:
         became available is recorded as an idle ``wait`` event (omitted
         when the message was already there), and only the receiver
         occupancy (drain) is recorded as the ``recv`` event.
+
+        (A plain function returning the receive generator — one generator
+        per receive instead of a delegating pair, and endpoint errors
+        surface at the call site.)
         """
-        self._check_channel(source, tag, sending=False)
-        return (yield from self._recv_impl(source, tag, None))
+        if (source, tag) not in self._ok_recv:
+            self._check_channel(source, tag, sending=False)
+            self._ok_recv.add((source, tag))
+        return self._recv_impl(source, tag, None)
 
     def recv_deadline(
         self, source: int, tag: int = 0, *, deadline: float
@@ -533,10 +652,12 @@ class Proc:
         the local clock advances to the deadline.  This is the primitive
         the reliable-transfer layer builds ack-wait/retry on.
         """
-        self._check_channel(source, tag, sending=False)
+        if (source, tag) not in self._ok_recv:
+            self._check_channel(source, tag, sending=False)
+            self._ok_recv.add((source, tag))
         if deadline < self.clock:
             deadline = self.clock
-        return (yield from self._recv_impl(source, tag, deadline))
+        return self._recv_impl(source, tag, deadline)
 
     def probe(self, source: int, tag: int = 0) -> bool:
         """True when a matching message has *arrived* (no time cost).
@@ -548,12 +669,14 @@ class Proc:
         backends.  (Channels are FIFO: only the head is considered, a
         receive would have to drain it first anyway.)
         """
-        self._check_channel(source, tag, sending=False)
+        if (source, tag) not in self._ok_recv:
+            self._check_channel(source, tag, sending=False)
+            self._ok_recv.add((source, tag))
         return self._engine.has_arrived((source, self.rank, tag), self.clock)
 
 
 class Engine:
-    """Owns processor state, message queues and the scheduler."""
+    """Owns processor state, message queues and the event calendar."""
 
     def __init__(
         self,
@@ -567,19 +690,21 @@ class Engine:
         self.procs = [Proc(self, r) for r in range(topology.size)]
         self._queues: dict[Channel, deque[_Message]] = {}
         self._waiting: dict[Channel, int] = {}  # channel -> parked rank
+        self._parked_channels: dict[int, tuple[Channel, ...]] = {}
         self._nb_parked: set[int] = set()  # ranks parked by a nonblocking wait
-        self._runnable: deque[int] = deque()
+        self._nb_by_source: dict[int, set[int]] = {}  # source -> nb listeners
+        self._calendar = EventCalendar()
         self.message_count = 0
         self.message_words = 0
         self._tracing = trace
-        self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+        self.trace: list[TraceLane] = [TraceLane() for _ in range(topology.size)]
         self.metrics = Metrics(topology.size)
         self.fault_plan = faults
         self.faults: FaultState | None = None
-        self._timed: dict[int, float] = {}  # parked rank -> recv deadline
         self._timeout_fired: set[int] = set()
         self._send_attempts: dict[Channel, int] = {}
         self._reliable_last: dict[Channel, int] = {}
+        self._hops: dict[tuple[int, int], int] = {}
         self._recent: list[deque] = [
             deque(maxlen=RECENT_EVENTS) for _ in range(topology.size)
         ]
@@ -597,38 +722,57 @@ class Engine:
             proc.scope = ""
         self._queues = {}
         self._waiting = {}
+        self._parked_channels = {}
         self._nb_parked = set()
-        self._runnable = deque()
+        self._nb_by_source = {}
+        self._calendar = EventCalendar()
         self.message_count = 0
         self.message_words = 0
-        self.trace = [[] for _ in self.procs]
+        self.trace = [TraceLane() for _ in self.procs]
         self.metrics = Metrics(self.topology.size)
         self.faults = (
             FaultState(self.fault_plan) if self.fault_plan is not None else None
         )
-        self._timed = {}
         self._timeout_fired = set()
         self._send_attempts = {}
         self._reliable_last = {}
         self._recent = [deque(maxlen=RECENT_EVENTS) for _ in self.procs]
 
     # -- messaging ------------------------------------------------------
+    def _unpark(self, rank: int) -> None:
+        """Drop every park registration of *rank* (O(channels of rank)).
+
+        A waitany park registers several channels for one rank: waking it
+        must clear every registration, or a later send on a sibling
+        channel would "wake" a rank that is long gone.
+        """
+        chans = self._parked_channels.pop(rank, ())
+        waiting = self._waiting
+        for ch in chans:
+            waiting.pop(ch, None)
+        if rank in self._nb_parked:
+            self._nb_parked.discard(rank)
+            by_source = self._nb_by_source
+            for ch in chans:
+                listeners = by_source.get(ch[0])
+                if listeners is not None:
+                    listeners.discard(rank)
+        self._calendar.cancel_timeout(rank)
+
     def deliver(self, msg: _Message) -> None:
         channel: Channel = (msg.source, msg.dest, msg.tag)
-        self._queues.setdefault(channel, deque()).append(msg)
+        queues = self._queues
+        queue = queues.get(channel)
+        if queue is None:
+            queue = queues[channel] = deque()
+        queue.append(msg)
         if not msg.system:
             self.message_count += 1
             self.message_words += msg.words
-        parked = self._waiting.pop(channel, None)
+        parked = self._waiting.get(channel)
         if parked is not None:
-            # A waitany park registers several channels for one rank:
-            # waking it must clear every registration, or a later send on
-            # a sibling channel would "wake" a rank that is long gone.
-            for ch in [c for c, r in self._waiting.items() if r == parked]:
-                del self._waiting[ch]
-            self._timed.pop(parked, None)
-            self._nb_parked.discard(parked)
-            self._runnable.append(parked)
+            self._unpark(parked)
+            self._calendar.push_ready(parked)
 
     def try_pop(self, channel: Channel) -> _Message | None:
         queue = self._queues.get(channel)
@@ -695,27 +839,19 @@ class Engine:
         detail: str = "",
         scope: str = "",
     ) -> None:
-        self.metrics.observe(
-            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope,
-            detail=detail,
-        )
+        self.metrics.observe(rank, kind, start, end, peer, words, tag, scope, detail)
         self._recent[rank].append((kind, start, end, peer, tag, detail))
         if self._tracing:
-            self.trace[rank].append(
-                TraceEvent(
-                    rank=rank,
-                    kind=kind,
-                    start=start,
-                    end=end,
-                    peer=peer,
-                    words=words,
-                    tag=tag,
-                    detail=detail,
-                    scope=scope,
-                )
+            self.trace[rank].append_raw(
+                (rank, kind, start, end, peer, words, tag, detail, scope)
             )
 
     # -- forensics -------------------------------------------------------
+    @property
+    def _timed(self) -> dict[int, float]:
+        """Live rank → deadline view of the calendar (forensics, tests)."""
+        return self._calendar.timed
+
     def _deadlock(self) -> DeadlockError:
         blocked = {
             rank: f"recv(source={ch[0]}, tag={ch[2]})"
@@ -725,7 +861,7 @@ class Engine:
             nprocs=len(self.procs),
             waiting=self._waiting,
             clocks=[p.clock for p in self.procs],
-            timed=dict(self._timed),
+            timed=dict(self._calendar.timed),
             recent=self._recent,
         )
         return DeadlockError(blocked, report=report)
@@ -736,18 +872,16 @@ class Engine:
         Only called when the machine has globally stalled, so no future
         send can beat the deadline — firing the earliest timeout is then
         the unique next event in simulated time, which keeps the timeout
-        semantics identical across backends and scheduling orders.
+        semantics identical across backends and scheduling orders.  The
+        waiter comes straight off the calendar heap (O(log N)), in the
+        same ``(deadline, rank)`` order the historic scan produced.
         """
-        if not self._timed:
+        rank = self._calendar.pop_due_timeout()
+        if rank is None:
             return False
-        rank = min(self._timed, key=lambda r: (self._timed[r], r))
-        del self._timed[rank]
-        for channel, waiter in list(self._waiting.items()):
-            if waiter == rank:
-                del self._waiting[channel]
-        self._nb_parked.discard(rank)
+        self._unpark(rank)
         self._timeout_fired.add(rank)
-        self._runnable.append(rank)
+        self._calendar.push_ready(rank)
         return True
 
     def _wake_crashed_nb(self) -> bool:
@@ -758,20 +892,24 @@ class Engine:
         :class:`repro.errors.PeerCrashedError` with the crash as context.
         (A plain blocked ``recv`` has no such check, so waking it would
         spin; it surfaces as a deadlock instead, exactly as before.)
+
+        The ``_nb_by_source`` reverse index maps each fired crash straight
+        to its listeners; wakeups happen in ascending rank order, the same
+        deterministic order the historic sorted scan produced.
         """
         if self.faults is None or not self._nb_parked:
             return False
-        woke = False
-        for rank in sorted(self._nb_parked):
-            chans = [ch for ch, r in self._waiting.items() if r == rank]
-            if any(self.faults.fired_crash(ch[0]) is not None for ch in chans):
-                for ch in chans:
-                    del self._waiting[ch]
-                self._nb_parked.discard(rank)
-                self._timed.pop(rank, None)
-                self._runnable.append(rank)
-                woke = True
-        return woke
+        candidates: set[int] = set()
+        for crash in self.faults.fired_crashes:
+            listeners = self._nb_by_source.get(crash.rank)
+            if listeners:
+                candidates |= listeners
+        if not candidates:
+            return False
+        for rank in sorted(candidates):
+            self._unpark(rank)
+            self._calendar.push_ready(rank)
+        return True
 
     # -- scheduler --------------------------------------------------------
     def run(
@@ -796,20 +934,25 @@ class Engine:
             else:
                 gens.append(result)
 
-        self._runnable = deque(
-            rank for rank, gen in enumerate(gens) if gen is not None
-        )
-        live = len(self._runnable)
+        calendar = self._calendar
+        live = 0
+        for rank, gen in enumerate(gens):
+            if gen is not None:
+                calendar.push_ready(rank)
+                live += 1
 
+        queues = self._queues
+        waiting = self._waiting
         while live:
-            if not self._runnable:
+            rank = calendar.pop_ready()
+            if rank is None:
                 # Global stall: the only ways forward are a nonblocking
                 # waiter whose peer crashed (it must fail, not hang) or an
                 # expired timed receive; with neither pending this is a
                 # true deadlock.
                 if not self._wake_crashed_nb() and not self._fire_earliest_timeout():
                     raise self._deadlock()
-            rank = self._runnable.popleft()
+                continue
             gen = gens[rank]
             assert gen is not None
             try:
@@ -821,20 +964,32 @@ class Engine:
                 continue
             nb_park = bool(channel) and isinstance(channel[0], tuple)
             channels = park_channels(channel)
-            if any(self.has_message(ch) for ch in channels):
+            raced = False
+            for ch in channels:
+                if queues.get(ch):
+                    raced = True
+                    break
+            if raced:
                 # Message raced in while the generator was yielding: retry.
-                self._runnable.append(rank)
+                calendar.push_ready(rank)
             else:
                 for ch in channels:
-                    if ch in self._waiting:
+                    if ch in waiting:
                         raise CommunicationError(
                             f"two processors waiting on the same channel {ch}"
                         )
-                    self._waiting[ch] = rank
+                    waiting[ch] = rank
+                self._parked_channels[rank] = channels
                 if nb_park:
                     self._nb_parked.add(rank)
+                    by_source = self._nb_by_source
+                    for ch in channels:
+                        listeners = by_source.get(ch[0])
+                        if listeners is None:
+                            listeners = by_source[ch[0]] = set()
+                        listeners.add(rank)
                 if deadline is not None:
-                    self._timed[rank] = deadline
+                    calendar.push_timeout(rank, deadline)
 
         return RunResult(
             values=values,

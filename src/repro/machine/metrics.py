@@ -22,12 +22,9 @@ time attributable to that key.
 from __future__ import annotations
 
 import threading
-from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.util.tables import Table
-
-_COMM_KINDS = ("send", "isend", "recv")
 
 
 @dataclass
@@ -102,7 +99,9 @@ class Metrics:
 
     def __post_init__(self) -> None:
         self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
-        self._lock = threading.Lock() if self.threadsafe else nullcontext()
+        # None instead of a nullcontext: entering a context manager per
+        # observed event is measurable on the calendar engine's hot path.
+        self._lock = threading.Lock() if self.threadsafe else None
 
     # -- population (called by Engine.record) ---------------------------
     def observe(
@@ -118,38 +117,101 @@ class Metrics:
         detail: str = "",
     ) -> None:
         duration = end - start
-        r = self.ranks[rank]
+        lock = self._lock
         if kind == "fault":
             key = detail or "fault"
-            with self._lock:
+            if lock is not None:
+                with lock:
+                    self.faults[key] = self.faults.get(key, 0) + 1
+                    self.by_kind.setdefault(kind, GroupStats()).add(duration)
+            else:
                 self.faults[key] = self.faults.get(key, 0) + 1
                 self.by_kind.setdefault(kind, GroupStats()).add(duration)
             return
-        if kind == "compute":
-            r.compute_seconds += duration
-        elif kind == "delay":
-            r.delay_seconds += duration
-        elif kind in ("send", "isend"):
+        # Per-rank fields are thread-confined; histogram keys are ordered
+        # by hot-path frequency.  The float sums accumulate in the same
+        # order as always (rank fields, by_kind, by_tag, by_collective),
+        # so serialized metrics stay bit-identical.
+        r = self.ranks[rank]
+        if kind == "send" or kind == "isend":
             r.comm_seconds += duration
             r.messages_sent += 1
             r.words_sent += words
+            messages = 1
+            nwords = words
+            comm = True
         elif kind == "recv":
             r.comm_seconds += duration
             r.messages_received += 1
             r.words_received += words
+            messages = 0
+            nwords = 0
+            comm = True
         elif kind == "wait":
             r.wait_seconds += duration
-        is_send = kind in ("send", "isend")
-        messages = 1 if is_send else 0
-        nwords = words if is_send else 0
-        with self._lock:
-            self.by_kind.setdefault(kind, GroupStats()).add(duration, messages, nwords)
-            if kind in _COMM_KINDS:
-                self.by_tag.setdefault(tag, GroupStats()).add(duration, messages, nwords)
-            if scope:
-                self.by_collective.setdefault(scope, GroupStats()).add(
-                    duration, messages, nwords
-                )
+            messages = 0
+            nwords = 0
+            comm = False
+        elif kind == "compute":
+            r.compute_seconds += duration
+            messages = 0
+            nwords = 0
+            comm = False
+        else:
+            if kind == "delay":
+                r.delay_seconds += duration
+            messages = 0
+            nwords = 0
+            comm = False
+        if lock is not None:
+            with lock:
+                self._fold(kind, tag, scope, duration, messages, nwords, comm)
+            return
+        by_kind = self.by_kind
+        stats = by_kind.get(kind)
+        if stats is None:
+            stats = by_kind[kind] = GroupStats()
+        stats.events += 1
+        stats.seconds += duration
+        stats.messages += messages
+        stats.words += nwords
+        if comm:
+            by_tag = self.by_tag
+            stats = by_tag.get(tag)
+            if stats is None:
+                stats = by_tag[tag] = GroupStats()
+            stats.events += 1
+            stats.seconds += duration
+            stats.messages += messages
+            stats.words += nwords
+        if scope:
+            by_collective = self.by_collective
+            stats = by_collective.get(scope)
+            if stats is None:
+                stats = by_collective[scope] = GroupStats()
+            stats.events += 1
+            stats.seconds += duration
+            stats.messages += messages
+            stats.words += nwords
+
+    def _fold(
+        self,
+        kind: str,
+        tag: int,
+        scope: str,
+        duration: float,
+        messages: int,
+        nwords: int,
+        comm: bool,
+    ) -> None:
+        """Locked histogram fold (threaded backend; must hold ``_lock``)."""
+        self.by_kind.setdefault(kind, GroupStats()).add(duration, messages, nwords)
+        if comm:
+            self.by_tag.setdefault(tag, GroupStats()).add(duration, messages, nwords)
+        if scope:
+            self.by_collective.setdefault(scope, GroupStats()).add(
+                duration, messages, nwords
+            )
 
     def observe_overlap(self, rank: int, inflight: float, hidden: float) -> None:
         """Fold one completed nonblocking receive into the overlap stats.

@@ -170,15 +170,15 @@ class RecvRequest(Request):
         arrival = max(block_start, available)
         if arrival > block_start:
             engine.record(
-                p.rank, "wait", block_start, arrival, peer=self.source,
-                words=words, tag=self.tag, scope=p.scope,
+                p.rank, "wait", block_start, arrival, self.source,
+                words, self.tag, "", p.scope,
             )
         p.clock = arrival
         if drain:
             p.clock += p._scaled(engine.model.post_occupancy(words))
         engine.record(
-            p.rank, "recv", arrival, p.clock, peer=self.source, words=words,
-            tag=self.tag, detail="nb", scope=p.scope,
+            p.rank, "recv", arrival, p.clock, self.source, words,
+            self.tag, "nb", p.scope,
         )
         # Overlap accounting: of the message's in-flight time after the
         # post, how much was hidden behind local work vs. exposed as
@@ -369,8 +369,7 @@ class NBComm:
         p._check_channel(source, tag, sending=False)
         req = RecvRequest(self, source, tag)
         p._engine.record(
-            p.rank, "irecv", p.clock, p.clock, peer=source, words=0, tag=tag,
-            scope=p.scope,
+            p.rank, "irecv", p.clock, p.clock, source, 0, tag, "", p.scope,
         )
         return req
 

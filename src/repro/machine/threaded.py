@@ -42,7 +42,7 @@ from repro.machine.forensics import RECENT_EVENTS, DeadlockReport, build_report
 from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
-from repro.machine.trace import TraceEvent
+from repro.machine.trace import TraceLane
 
 
 class ThreadedEngine:
@@ -69,12 +69,15 @@ class ThreadedEngine:
         self.message_count = 0
         self.message_words = 0
         self._tracing = trace
-        self.trace: list[list[TraceEvent]] = [[] for _ in range(topology.size)]
+        self.trace: list[TraceLane] = [TraceLane() for _ in range(topology.size)]
         self.metrics = Metrics(topology.size, threadsafe=True)
         self.fault_plan = faults
         self.faults: FaultState | None = None
         self._timed: dict[int, float] = {}  # waiting rank -> recv deadline
         self._timeout_fired: set[int] = set()
+        # Route-length cache shared with Proc.send (reads are GIL-atomic;
+        # a racing double-compute stores the same deterministic value).
+        self._hops: dict[tuple[int, int], int] = {}
         # Attempt counters and reliable-dedup state are keyed by channel;
         # each channel has exactly one sending rank, so each key is only
         # ever touched by that rank's thread (GIL-atomic dict ops).
@@ -95,7 +98,7 @@ class ThreadedEngine:
         self._deadlocked = False
         self.message_count = 0
         self.message_words = 0
-        self.trace = [[] for _ in self.procs]
+        self.trace = [TraceLane() for _ in self.procs]
         self.metrics = Metrics(self.topology.size, threadsafe=True)
         self.faults = (
             FaultState(self.fault_plan) if self.fault_plan is not None else None
@@ -174,15 +177,13 @@ class ThreadedEngine:
         scope: str = "",
     ) -> None:
         self.metrics.observe(
-            rank, kind, start, end, peer=peer, words=words, tag=tag, scope=scope,
-            detail=detail,
+            rank, kind, start, end, peer, words, tag, scope, detail
         )
         # Each rank appends only to its own lanes: no lock needed.
         self._recent[rank].append((kind, start, end, peer, tag, detail))
         if self._tracing:
-            self.trace[rank].append(
-                TraceEvent(rank=rank, kind=kind, start=start, end=end,
-                           peer=peer, words=words, tag=tag, detail=detail, scope=scope)
+            self.trace[rank].append_raw(
+                (rank, kind, start, end, peer, words, tag, detail, scope)
             )
 
     # -- stall detection ---------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.util.tables import Table
 
@@ -13,7 +14,7 @@ from repro.util.tables import Table
 KINDS = ("fault", "compute", "delay", "send", "isend", "recv", "irecv", "wait")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One timed event on one processor.
 
@@ -60,6 +61,69 @@ class TraceEvent:
         if self.kind == "fault":
             return f"fault:{self.detail or '?'}"
         return self.kind
+
+
+class TraceLane:
+    """One rank's event lane with lazily materialized :class:`TraceEvent`\\ s.
+
+    The engine's hot path appends raw tuples (the ``TraceEvent``
+    constructor arguments, in field order) — a tuple append instead of a
+    dataclass allocation per recorded event, which is what makes tracing
+    affordable at N=1024+.  Consumers see a normal read-only sequence of
+    ``TraceEvent`` objects: events are built on first access and cached,
+    so repeated iteration returns the *same* objects (the critical-path
+    walker keys its maps by ``id(event)`` and relies on this).
+    """
+
+    __slots__ = ("_raw", "_cache")
+
+    def __init__(self, events: list[TraceEvent] | None = None) -> None:
+        self._raw: list[tuple] = []
+        self._cache: list[TraceEvent] = []
+        if events:
+            for e in events:
+                self.append(e)
+
+    def append_raw(self, row: tuple) -> None:
+        """Record one event as its constructor-argument tuple (hot path)."""
+        self._raw.append(row)
+
+    def append(self, event: TraceEvent) -> None:
+        """Append an already-materialized event (tests, tooling)."""
+        self._materialize().append(event)
+        self._raw.append(
+            (event.rank, event.kind, event.start, event.end, event.peer,
+             event.words, event.tag, event.detail, event.scope)
+        )
+
+    def _materialize(self) -> list[TraceEvent]:
+        cache = self._cache
+        raw = self._raw
+        if len(cache) < len(raw):
+            cache.extend(TraceEvent(*row) for row in raw[len(cache):])
+        return cache
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __bool__(self) -> bool:
+        return bool(self._raw)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._materialize()[index]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, TraceLane):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"TraceLane({self._materialize()!r})"
 
 
 def busy_time(events: list[TraceEvent], kinds: tuple[str, ...] = ("compute",)) -> float:

@@ -29,6 +29,13 @@ Three enforcement layers, each failing loudly and by name:
 (the file stem minus ``bench_``), e.g. ``--only 'fig*|table1*'``.
 ``--records`` skips the pytest run and re-checks an existing records
 file — handy for CI forensics and for testing the gate itself.
+``--bench-dir`` points the runner at an alternative benchmark tree
+(defaults to the repo's ``benchmarks/``); ``--baseline`` and ``--out``
+default relative to it.
+
+Run as a module (``python -m repro.tools.bench``) with ``src/`` on
+``PYTHONPATH`` — the runner itself re-exports that path to the pytest
+subprocess it spawns.
 """
 
 from __future__ import annotations
@@ -41,9 +48,6 @@ import pathlib
 import subprocess
 import sys
 import tempfile
-
-if __package__ in (None, ""):  # executed by file path: put src/ on sys.path
-    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
 
 from repro.tools import benchlib
 
@@ -209,8 +213,13 @@ def main(argv: list[str] | None = None) -> int:
         help="'|'-separated fnmatch globs on benchmark ids (e.g. 'fig*|table1*')",
     )
     parser.add_argument(
-        "--baseline", type=pathlib.Path, default=BENCH_DIR / "baseline.json",
-        help="baseline file for --check / --update-baseline (default: %(default)s)",
+        "--bench-dir", type=pathlib.Path, default=BENCH_DIR,
+        help="directory holding bench_*.py files (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="baseline file for --check / --update-baseline "
+             "(default: <bench-dir>/baseline.json)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -225,8 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         help="relative regression tolerance for --check (default: %(default)s)",
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=BENCH_DIR / "artifacts",
-        help="directory for BENCH_<sha>.json (default: %(default)s)",
+        "--out", type=pathlib.Path, default=None,
+        help="directory for BENCH_<sha>.json (default: <bench-dir>/artifacts)",
     )
     parser.add_argument(
         "--records", type=pathlib.Path,
@@ -237,10 +246,15 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the compiler wall-clock profile and trace artifact",
     )
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = args.bench_dir / "baseline.json"
+    if args.out is None:
+        args.out = args.bench_dir / "artifacts"
 
-    files = discover(args.only)
+    files = discover(args.only, bench_dir=args.bench_dir)
     if not files:
-        print(f"error: --only {args.only!r} matched no benchmarks", file=sys.stderr)
+        what = f"--only {args.only!r}" if args.only else f"--bench-dir {args.bench_dir}"
+        print(f"error: {what} matched no benchmarks", file=sys.stderr)
         return 2
 
     failures: list[str] = []

@@ -44,11 +44,6 @@ import argparse
 import json
 import pathlib
 
-if __package__ in (None, ""):  # executed by file path: put src/ on sys.path
-    import sys
-
-    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
-
 import numpy as np
 
 from repro.alignment import build_cag, exact_alignment

@@ -328,6 +328,34 @@ class TestBenchRunner:
     def test_no_match_is_usage_error(self, tmp_path):
         assert bench.main(["--only", "zzz*", "--no-profile"]) == 2
 
+    def test_bench_dir_discovery_and_defaults(self, tmp_path):
+        """--bench-dir redirects discovery; baseline/out default under it."""
+        bdir = tmp_path / "altbench"
+        bdir.mkdir()
+        (bdir / "bench_fake_thing.py").write_text("# placeholder\n")
+        files = bench.discover(None, bench_dir=bdir)
+        assert [f.name for f in files] == ["bench_fake_thing.py"]
+
+        rows = [benchlib.BenchResult("fake_thing", "k", makespan=10.0)]
+        records = benchlib.write_records(tmp_path / "r.json", rows)
+        argv = ["--records", str(records), "--bench-dir", str(bdir),
+                "--no-profile", "--update-baseline"]
+        assert bench.main(argv) == 0
+        assert (bdir / "baseline.json").exists()
+        assert list((bdir / "artifacts").glob("BENCH_*.json"))
+        # Second run gates against the auto-located baseline.
+        assert bench.main(["--records", str(records), "--bench-dir", str(bdir),
+                           "--no-profile", "--check"]) == 0
+        rows_bad = [benchlib.BenchResult("fake_thing", "k", makespan=20.0)]
+        records_bad = benchlib.write_records(tmp_path / "rb.json", rows_bad)
+        assert bench.main(["--records", str(records_bad), "--bench-dir", str(bdir),
+                           "--no-profile", "--check"]) == 1
+
+    def test_empty_bench_dir_is_usage_error(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert bench.main(["--bench-dir", str(empty), "--no-profile"]) == 2
+
     def test_missing_baseline_is_usage_error(self, tmp_path):
         rows = [benchlib.BenchResult("fig1_layouts", "k", makespan=1.0)]
         records = benchlib.write_records(tmp_path / "r.json", rows)
@@ -362,14 +390,27 @@ class TestToolEntryPoints:
         assert "usage" in out.stdout.lower()
 
     @pytest.mark.parametrize("script", ["report.py", "bench.py"])
-    def test_file_path_invocation_needs_no_pythonpath(self, script):
+    def test_file_path_invocation_uses_pythonpath(self, script):
+        """File-path execution imports like any repro module.
+
+        The tools used to carry an in-file ``sys.path`` bootstrap so a
+        bare ``python src/repro/tools/bench.py`` worked from anywhere;
+        that hack is gone (``--bench-dir`` covers the relocation case),
+        so file-path runs need ``src/`` importable — the same contract
+        as ``python -m``.
+        """
+        out = subprocess.run(
+            [sys.executable, str(REPO / "src" / "repro" / "tools" / script), "--help"],
+            env=self._env_with_src(), capture_output=True, text=True,
+        )
+        assert out.returncode == 0, out.stderr
         env = dict(os.environ)
         env.pop("PYTHONPATH", None)
         out = subprocess.run(
             [sys.executable, str(REPO / "src" / "repro" / "tools" / script), "--help"],
             env=env, capture_output=True, text=True,
         )
-        assert out.returncode == 0, out.stderr
+        assert out.returncode != 0 and "repro" in out.stderr
 
 
 # ------------------------------------------- hypothesis: model drift sweep

@@ -1,0 +1,162 @@
+"""Regression tests for the indexed event calendar (docs/ENGINE.md).
+
+The calendar rewrite replaced three O(N) scheduler scans — the ready
+deque's companion full-state scans, the ``min()`` over timed parks and
+the ``sorted()`` rebuild of the nb-parked set — with indexed structures.
+These tests pin the *ordering contract* those scans implicitly defined:
+
+* timed receives fire in earliest-deadline order, ties broken by
+  ascending rank (the old ``min((deadline, rank))`` order);
+* crash wakeups of nonblocking waiters happen in ascending rank order
+  (the old ``sorted(self._nb_parked)`` order), independent of the order
+  the ranks parked in.
+
+Both orders are part of the engine's determinism contract: the stress
+parity suite (``test_engine_parity_stress``) checks timestamps stay
+bit-identical, these tests check the *mechanism* directly so a future
+calendar change fails with a readable message rather than a digest
+mismatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PeerCrashedError, RankCrashedError
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.machine.engine import TIMED_OUT
+from repro.machine.faults import CrashFault, FaultPlan
+from repro.machine.nonblocking import NBComm
+
+MODEL = MachineModel(tf=1.0, tc=1.0)
+
+
+class TestTimeoutFiringOrder:
+    def test_timeouts_fire_in_deadline_order_with_rank_ties(self):
+        """N timed parks fire earliest-deadline first, rank-ascending ties.
+
+        16 ranks park simultaneously at t=0 on receives that never
+        complete.  Deadlines form four tie groups (10, 15, 20, 25), each
+        shared by four ranks.  The engine stalls immediately and must
+        drain the calendar in (deadline, rank) order — the exact order
+        the seed scheduler's ``min(self._timed.items())`` scan produced.
+        """
+        n = 16
+        fired: list[tuple[float, int]] = []
+
+        def prog(p):
+            deadline = 10.0 + 5.0 * (p.rank % 4)
+            got = yield from p.recv_deadline(
+                (p.rank + 1) % p.nprocs, tag=7, deadline=deadline
+            )
+            assert got is TIMED_OUT
+            fired.append((p.clock, p.rank))
+            return p.clock
+
+        res = run_spmd(prog, Ring(n), MODEL)
+        expected = sorted(
+            ((10.0 + 5.0 * (r % 4), r) for r in range(n)),
+            key=lambda t: (t[0], t[1]),
+        )
+        assert fired == expected
+        # The clock each rank resumed at is exactly its deadline.
+        assert res.values == [10.0 + 5.0 * (r % 4) for r in range(n)]
+
+    def test_rearmed_timeout_does_not_fire_stale_entry(self):
+        """A fed-then-re-parked rank fires at its *new* deadline only.
+
+        Rank 1 parks with an early deadline, is fed before it expires,
+        then parks again with a later deadline.  The lazily-invalidated
+        calendar still holds the stale early entry; it must be skipped,
+        not fired — rank 1's second receive times out at 40, after rank
+        2's 30.
+        """
+        order: list[int] = []
+
+        def prog(p):
+            if p.rank == 0:
+                p.send(1, "food", words=1, tag=1)
+                return None
+            if p.rank == 1:
+                got = yield from p.recv_deadline(0, tag=1, deadline=20.0)
+                assert got == "food"
+                got = yield from p.recv_deadline(0, tag=2, deadline=40.0)
+                assert got is TIMED_OUT
+                order.append(p.rank)
+                return p.clock
+            got = yield from p.recv_deadline(0, tag=3, deadline=30.0)
+            assert got is TIMED_OUT
+            order.append(p.rank)
+            return p.clock
+
+        res = run_spmd(prog, Ring(3), MODEL)
+        assert order == [2, 1]
+        assert res.values[1] == 40.0
+        assert res.values[2] == 30.0
+
+    def test_many_timed_parks_single_winner(self):
+        """Only the earliest deadline fires when one message resolves it.
+
+        All other ranks are fed before their deadlines; exactly one
+        timeout event must fire.
+        """
+        n = 8
+        timeouts = []
+
+        def prog(p):
+            if p.rank == 0:
+                for dest in range(2, n):
+                    p.send(dest, dest, words=1, tag=5)
+                return None
+            got = yield from p.recv_deadline(0, tag=5, deadline=100.0 + p.rank)
+            if got is TIMED_OUT:
+                timeouts.append(p.rank)
+                return None
+            return got
+
+        res = run_spmd(prog, Ring(n), MODEL)
+        assert timeouts == [1]
+        assert res.values[2:] == list(range(2, n))
+
+
+class TestCrashWakeupOrder:
+    def _run(self, park_order: list[int]) -> list[int]:
+        """5 ranks nb-park on a rank that crashes; return wakeup order.
+
+        ``park_order`` staggers each rank's pre-park compute so the
+        parked set is *built* in that order; wakeups must come out in
+        ascending rank order regardless.
+        """
+        woken: list[int] = []
+        stagger = {r: i for i, r in enumerate(park_order)}
+
+        def prog(p):
+            if p.rank == 0:
+                try:
+                    p.compute(100)  # crosses the crash time
+                except RankCrashedError:
+                    return "died"
+                return "survived"
+            p.compute(1 + stagger[p.rank])
+            comm = NBComm(p)
+            req = comm.irecv(0, tag=1)
+            try:
+                yield from req.wait()
+            except PeerCrashedError as err:
+                woken.append(p.rank)
+                return ("crashed-peer", err.crash.rank)
+            return "no error"
+
+        plan = FaultPlan(crashes=(CrashFault(0, at_time=50.0),))
+        res = run_spmd(prog, Ring(6), MODEL, faults=plan)
+        assert res.values[0] == "died"
+        assert res.values[1:] == [("crashed-peer", 0)] * 5
+        return woken
+
+    @pytest.mark.parametrize(
+        "park_order",
+        [[1, 2, 3, 4, 5], [5, 4, 3, 2, 1], [3, 1, 5, 2, 4]],
+        ids=["ascending", "descending", "shuffled"],
+    )
+    def test_crash_wakeups_ascending_rank(self, park_order):
+        assert self._run(park_order) == [1, 2, 3, 4, 5]
