@@ -5,14 +5,16 @@ Run:  python examples/custom_program.py
 The compiler keys on program structure, not names: this example writes a
 Jacobi-shaped solver with completely different identifiers, lets the
 recognizer find the pattern, prints the generated SPMD code, and runs it.
-It then demonstrates the diagnostics you get for an unsupported program.
+Because the plan cache is content-addressed over the *canonicalized* IR,
+the renamed program even shares a cache entry with the stock Jacobi.  It
+then demonstrates the diagnostics you get for an unsupported program.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import MachineModel, Ring, generate_spmd, load_generated, parse_program, run_spmd
+from repro import MachineModel, Session, compile_program, jacobi_program
 from repro.errors import CodegenError
 from repro.kernels import jacobi_seq, make_spd_system
 
@@ -48,22 +50,31 @@ END
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
-    gen = generate_spmd(program)
-    print(f"recognized '{program.name}' as {gen.strategy}; generated code:\n")
-    print(gen.source)
+    plan = compile_program(SOURCE)
+    print(f"recognized '{plan.program.name}' as {plan.strategy}; generated code:\n")
+    print(plan.source)
 
     m, n, iters = 32, 4, 25
     A, b, x_true = make_spd_system(m, seed=8)
-    env = {"Stiff": A, "Load": b, "X0": np.zeros(m), "iterations": iters}
-    res = run_spmd(load_generated(gen), Ring(n), MachineModel(tf=1, tc=10), args=(env,))
+    inputs = {"Stiff": A, "Load": b, "X0": np.zeros(m), "iterations": iters}
+    res = plan.run(n, {"size": m, "steps": iters},
+                   model=MachineModel(tf=1, tc=10), inputs=inputs)
     ref = jacobi_seq(A, b, np.zeros(m), iters)
     print(f"makespan {res.makespan:,.0f}; matches reference: "
           f"{np.allclose(res.value(0), ref)}")
 
+    # heatstep is an alpha-twin of the stock Jacobi: same canonical IR,
+    # same digest, one cache entry between them.
+    session = Session()
+    first = session.compile(jacobi_program())
+    twin = session.compile(SOURCE)
+    print(f"\nalpha-twin cache: digests equal = {first.digest == twin.digest}, "
+          f"served from cache = {twin.cached}")
+    print(f"name translation: {twin.rename}")
+
     print("\nan unsupported program fails loudly:")
     try:
-        generate_spmd(parse_program(UNSUPPORTED))
+        compile_program(UNSUPPORTED)
     except CodegenError as exc:
         print(f"  CodegenError: {exc}")
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Dist1D, Dist2D, Grid2D, MachineModel, run_spmd
+from repro import Dist1D, Dist2D, Grid2D, MachineModel
+from repro.machine import run_spmd
 from repro.distribution.function import Kind
 from repro.distribution.function2d import Coupling
 from repro.distribution.layout import render_layout

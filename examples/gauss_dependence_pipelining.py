@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MachineModel, Ring, generate_spmd, load_generated, run_spmd
+from repro import MachineModel, Ring, compile_program
+from repro.machine import run_spmd
 from repro.kernels import gauss_broadcast, gauss_pipelined, make_spd_system
 from repro.lang import gauss_program
 from repro.pipeline.mapping import choose_mapping, mapping_table
@@ -42,12 +43,11 @@ def dependence_analysis() -> None:
 
 
 def generated_program() -> None:
-    gen = generate_spmd(gauss_program())
-    print(f"\ngenerated strategy: {gen.strategy} (justified by the token analysis)")
-    fn = load_generated(gen)
+    plan = compile_program(gauss_program())
+    print(f"\ngenerated strategy: {plan.strategy} (justified by the token analysis)")
     m = 48
     A, b, x_true = make_spd_system(m, seed=4)
-    res = run_spmd(fn, Ring(8), MODEL, args=({"A": A, "B": b},))
+    res = plan.run(8, {"m": m}, model=MODEL, inputs={"A": A, "B": b})
     print(
         f"Fig 8 program on m={m}, N=8: makespan {res.makespan:,.0f}, "
         f"error vs truth {np.max(np.abs(res.value(0) - x_true)):.2e}"

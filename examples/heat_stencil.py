@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MachineModel, Ring, generate_spmd, load_generated, parse_program, run_spmd
+from repro import MachineModel, compile_program
 
 SOURCE = """\
 PROGRAM heat
@@ -34,21 +34,20 @@ END
 
 
 def main() -> None:
-    program = parse_program(SOURCE)
-    gen = generate_spmd(program)
-    print(f"recognized as: {gen.strategy}")
-    print("halo widths:", gen.pattern.halo)
+    plan = compile_program(SOURCE)
+    print(f"recognized as: {plan.strategy}")
+    print("halo widths:", plan.generated.pattern.halo)
     print("\ngenerated SPMD program:\n")
-    print(gen.source)
+    print(plan.source)
 
     m, steps, alpha, nprocs = 64, 60, 0.25, 8
     u0 = np.zeros(m)
     u0[m // 2 - 2 : m // 2 + 2] = 1.0  # a heat pulse in the middle
 
-    fn = load_generated(gen)
-    env = {"m": m, "steps": steps, "alpha": alpha,
-           "Unew": np.zeros(m), "Uold": u0.copy()}
-    res = run_spmd(fn, Ring(nprocs), MachineModel(tf=1, tc=10), args=(env,))
+    inputs = {"m": m, "steps": steps, "alpha": alpha,
+              "Unew": np.zeros(m), "Uold": u0.copy()}
+    res = plan.run(nprocs, {"m": m, "steps": steps},
+                   model=MachineModel(tf=1, tc=10), inputs=inputs)
     u = res.value(0)["Uold"]
 
     # Sequential reference.

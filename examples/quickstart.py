@@ -6,25 +6,18 @@ Steps
 -----
 1. parse the Fortran-style Do-loop source (§3's listing);
 2. build the component affinity graph and align it (§3);
-3. run Algorithm 1, the dynamic program over distribution schemes (§4);
-4. generate an SPMD message-passing program (the Fig 6/Table 3 analogue);
-5. execute it on the simulated distributed-memory machine and check the
-   answer against NumPy.
+3. compile through a :class:`repro.Session` — Algorithm 1 (§4) plus
+   SPMD code generation in one cached request;
+4. execute the generated program on the simulated distributed-memory
+   machine and check the answer against NumPy;
+5. compile again to show the content-addressed cache at work.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    MachineModel,
-    Ring,
-    generate_spmd,
-    jacobi_program,
-    load_generated,
-    run_spmd,
-    solve_program_distribution,
-)
+from repro import MachineModel, Session, jacobi_program
 from repro.alignment import build_cag, exact_alignment
 from repro.kernels import make_spd_system
 
@@ -45,26 +38,28 @@ def main() -> None:
     print(cag.render())
     print("alignment:", alignment.describe(cag))
 
-    # --- §4: Algorithm 1 ---------------------------------------------------
-    tables, result = solve_program_distribution(
-        program, NPROCS, {"m": M, "maxiter": 1}, MODEL
-    )
-    print("\nAlgorithm 1:", result.describe())
+    # --- §4 + codegen through the compile service ------------------------
+    session = Session(machine=MODEL)
+    res = session.compile(program, nprocs=NPROCS, env={"m": M, "maxiter": 1})
+    print("\nAlgorithm 1:", res.outcome.result.describe())
+    print(f"generated strategy: {res.strategy}")
 
-    # --- codegen + simulated execution --------------------------------------
-    gen = generate_spmd(program)
-    print(f"\ngenerated strategy: {gen.strategy}")
-    spmd = load_generated(gen)
-
+    # --- simulated execution ---------------------------------------------
     A, b, x_true = make_spd_system(M, seed=0)
-    env = {"A": A, "B": b, "X0": np.zeros(M), "iterations": ITERS}
-    res = run_spmd(spmd, Ring(NPROCS), MODEL, args=(env,))
+    inputs = {"A": A, "B": b, "X0": np.zeros(M), "iterations": ITERS}
+    run = res.run(inputs=inputs)
 
-    err = np.max(np.abs(res.value(0) - x_true))
-    print(f"\nsimulated run: makespan {res.makespan:,.0f} time units, "
-          f"{res.message_count} messages, {res.message_words} words")
+    err = np.max(np.abs(run.value(0) - x_true))
+    print(f"\nsimulated run: makespan {run.makespan:,.0f} time units, "
+          f"{run.message_count} messages, {run.message_words} words")
     print(f"solution error vs numpy after {ITERS} sweeps: {err:.2e}")
     assert err < 1e-6, "Jacobi failed to converge — unexpected"
+
+    # --- the cache: same program, same key, no recompilation --------------
+    again = session.compile(program, nprocs=NPROCS, env={"m": M, "maxiter": 1})
+    assert again.cached and again.solve_cached
+    print(f"\nrecompile served from cache (hit rate "
+          f"{session.stats.hit_rate:.0%}), digest {again.digest[:12]}…")
     print("OK")
 
 

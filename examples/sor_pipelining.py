@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import MachineModel, Ring, run_spmd
+from repro import MachineModel, Ring
+from repro.machine import run_spmd
 from repro.costmodel import sor_naive_time, sor_pipelined_time
 from repro.kernels import make_spd_system, sor_naive, sor_pipelined, sor_seq
 from repro.machine.trace import gantt

@@ -21,28 +21,36 @@ substrate it needs:
 * :mod:`repro.pipeline` — pipelining: Fig 5 schedules, index-processor
   mappings, broadcast-to-shift rewriting (§5-§6);
 * :mod:`repro.codegen` — SPMD code generation (Figs 6, 8);
+* :mod:`repro.service` — the compile service: content-addressed plan
+  cache, front-end guests, batch + job-queue compilation;
 * :mod:`repro.kernels` — sequential references and hand-written SPMD
   kernels used to validate everything end to end.
 
 Quick start (the stable facade, :mod:`repro.api`)::
 
-    from repro import compile, jacobi_program
-    plan = compile(jacobi_program())
-    result = plan.run(nprocs=4, env={"m": 32, "maxiter": 10})
-    print(plan.explain())
+    from repro import Session, jacobi_program
 
-The legacy top-level entry points (``compile_and_run``,
-``solve_program_distribution``, ``generate_spmd``, ``run_spmd``) still
-work but emit :class:`DeprecationWarning`; import them from
-:mod:`repro.api`, :mod:`repro.dp`, :mod:`repro.codegen` and
-:mod:`repro.machine` instead.
+    with Session() as session:
+        res = session.compile(jacobi_program(), nprocs=4,
+                              env={"m": 32, "maxiter": 10})
+        result = res.run()
+        print(res.explain())
+
+or, stateless::
+
+    from repro import compile_program
+    plan = compile_program(jacobi_program())
+    result = plan.run(4, {"m": 32, "maxiter": 10})
+
+The pre-service top-level entry points (``compile_and_run``,
+``solve_program_distribution``, ``generate_spmd``, ``run_spmd``) have
+been removed; see the migration table in :mod:`repro.api` and
+docs/API.md.
 """
 
 from __future__ import annotations
 
-import warnings
-
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from repro.errors import ReproError
 from repro.lang import (
@@ -67,7 +75,13 @@ from repro.alignment import build_cag, exact_alignment, greedy_alignment
 from repro.costmodel import CommCosts
 from repro.dp import algorithm1
 from repro.codegen import load_generated
-from repro.api import Plan, compile
+from repro.api import (
+    CompileRequest,
+    CompileResult,
+    Plan,
+    Session,
+    compile_program,
+)
 
 __all__ = [
     "__version__",
@@ -81,7 +95,6 @@ __all__ = [
     "MachineModel",
     "Proc",
     "RunResult",
-    "run_spmd",
     "Ring",
     "Linear",
     "Grid2D",
@@ -95,56 +108,10 @@ __all__ = [
     "greedy_alignment",
     "CommCosts",
     "algorithm1",
-    "solve_program_distribution",
-    "generate_spmd",
     "load_generated",
     "Plan",
-    "compile",
-    "compile_and_run",
+    "Session",
+    "CompileRequest",
+    "CompileResult",
+    "compile_program",
 ]
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"repro.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def compile_and_run(program, nprocs, env, model=None, inputs=None, seed=0):
-    """Deprecated shim — use :func:`repro.api.compile_and_run` (or
-    ``compile(program).run(...)``)."""
-    from repro import api
-
-    _deprecated("compile_and_run", "repro.api.compile_and_run")
-    return api.compile_and_run(
-        program, nprocs, env, model=model, inputs=inputs, seed=seed
-    )
-
-
-def solve_program_distribution(program, nprocs, env, model, **kwargs):
-    """Deprecated shim — use :func:`repro.dp.solve_program_distribution`
-    or :meth:`repro.api.Plan.solve`."""
-    from repro.dp import phases
-
-    _deprecated("solve_program_distribution", "repro.dp.solve_program_distribution")
-    return phases.solve_program_distribution(program, nprocs, env, model, **kwargs)
-
-
-def generate_spmd(program, strategy=None):
-    """Deprecated shim — use :func:`repro.codegen.generate_spmd` or
-    :func:`repro.api.compile`."""
-    from repro.codegen import spmd
-
-    _deprecated("generate_spmd", "repro.codegen.generate_spmd")
-    return spmd.generate_spmd(program, strategy=strategy)
-
-
-def run_spmd(program, topology, model=None, **kwargs):
-    """Deprecated shim — use :func:`repro.machine.run_spmd` or
-    :meth:`repro.api.Plan.run`."""
-    from repro.machine import engine
-
-    _deprecated("run_spmd", "repro.machine.run_spmd")
-    return engine.run_spmd(program, topology, model, **kwargs)

@@ -1,197 +1,239 @@
-"""The stable facade over the compilation pipeline.
+"""The stable facade over the compile service.
 
-Three names cover the common journeys end to end::
+Two journeys cover most uses::
 
-    from repro.api import compile
+    from repro.api import Session, compile_program
 
-    plan = compile(jacobi_program())
-    print(plan.explain())                 # what was recognized + why
-    result = plan.run(nprocs=4, env={"m": 32, "maxiter": 10})
+    # stateless: recognize + emit SPMD code, no cache
+    plan = compile_program(jacobi_source)
+    result = plan.run(4, {"m": 32, "maxiter": 10})
 
-* :func:`compile` — recognize the program and emit its SPMD code;
-* :meth:`Plan.run` — execute the generated code on the simulator
-  (``backend="engine"`` or ``"threaded"``), fabricating well-conditioned
-  default inputs when none are given;
-* :meth:`Plan.explain` — human-readable account of the strategy, and —
-  given ``nprocs``/``env`` — Algorithm 1's chosen distribution chain
-  with its redistribution plans.
+    # stateful: content-addressed cache + any front-end guest
+    with Session(cache="memory") as session:
+        res = session.compile(jacobi_source, nprocs=8, env={"m": 64, "maxiter": 10})
+        print(res.explain())          # Explanation dataclass; str() renders it
+        print(session.stats.hit_rate)
 
-:meth:`Plan.solve` exposes the §4 dynamic program directly, including
-the ``execute=True`` validation mode that lowers every chosen
-redistribution to real message traffic (:mod:`repro.dp.validate`).
+* :func:`compile_program` — one program in (any guest surface), one
+  :class:`Plan` out;
+* :class:`Session` — a veneer over
+  :class:`repro.service.CompileService`: the ``cache="off|memory|disk"``
+  knob, ``compile``/``compile_batch``, the ``submit``/``wait`` job
+  queue, and cache counters under :attr:`Session.stats`;
+* :meth:`Plan.run` / :meth:`Plan.solve` / :meth:`Plan.explain` — the
+  compiled-artifact surface (machine parameters keyword-only;
+  ``solve`` returns :class:`SolveOutcome`, ``explain`` returns
+  :class:`Explanation`).
 
-This module intentionally imports no deprecated shims; the legacy
-top-level names (``repro.compile_and_run`` and friends) now delegate
-here and warn.
+Migration from the pre-service API
+----------------------------------
+==================================  =========================================
+old name                            new name
+==================================  =========================================
+``repro.api.compile``               :func:`compile_program` (alias warns)
+``repro.compile``                   :func:`repro.compile_program`
+``repro.compile_and_run``           :func:`repro.api.compile_and_run`
+``repro.solve_program_distribution``:meth:`Plan.solve` /
+                                    :func:`repro.dp.phases.solve_program_distribution`
+``repro.generate_spmd``             :func:`repro.codegen.spmd.generate_spmd`
+``repro.run_spmd``                  :func:`repro.machine.engine.run_spmd`
+``plan.run(n, env, model)``         ``plan.run(n, env, model=...)`` (kw-only)
+``tables, result = plan.solve(...)``unchanged (``SolveOutcome`` iterates)
+``plan.explain(...)`` (str)         ``str(plan.explain(...))``
+==================================  =========================================
+
+docs/API.md walks through each row.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
-from repro.errors import ReproError
 from repro.lang.ast import Program
-from repro.lang.parser import parse_program
-from repro.machine.engine import RunResult, run_spmd
+from repro.machine.engine import RunResult
 from repro.machine.model import MachineModel
-from repro.machine.threaded import run_spmd_threaded
-from repro.machine.topology import Grid2D, Ring
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.compiler import (
+    CompileJob,
+    CompileRequest,
+    CompileResult,
+    CompileService,
+)
+from repro.service.plan import (
+    Explanation,
+    Plan,
+    SegmentChoice,
+    SolveOutcome,
+    TransitionCost,
+)
+from repro.service.guests import (
+    available_guests,
+    loop_nest,
+    lower,
+    register_guest,
+)
 
-__all__ = ["Plan", "compile", "compile_and_run"]
+__all__ = [
+    "Plan",
+    "Session",
+    "CompileRequest",
+    "CompileResult",
+    "CompileJob",
+    "Explanation",
+    "SolveOutcome",
+    "SegmentChoice",
+    "TransitionCost",
+    "CacheStats",
+    "compile_program",
+    "compile_and_run",
+    "loop_nest",
+    "lower",
+    "register_guest",
+    "available_guests",
+    "compile",
+]
 
-_RUNNERS = {"engine": run_spmd, "threaded": run_spmd_threaded}
+
+def compile_program(
+    source: Program | str | object,
+    *,
+    guest: str = "dsl",
+    strategy: str | None = None,
+) -> Plan:
+    """Recognize *source* (lowered through *guest*) and generate its
+    SPMD code.  Stateless — no cache; use :class:`Session` for that."""
+    from repro.service.plan import compile_plan
+
+    return compile_plan(lower(source, guest), strategy=strategy)
 
 
-def compile(program: Program | str, strategy: str | None = None) -> Plan:
-    """Recognize *program* (a :class:`~repro.lang.ast.Program` or DSL
-    source text) and generate its SPMD code."""
-    if isinstance(program, str):
-        program = parse_program(program)
-    return Plan(program=program, generated=generate_spmd(program, strategy=strategy))
-
-
-def _default_inputs(gen: GeneratedProgram, env: dict[str, int], seed: int) -> dict:
-    """Fabricate inputs matching the recognized pattern (SPD system for
-    solvers, random operands for matmul)."""
-    import numpy as np
-
-    from repro.codegen.patterns import (
-        GaussPattern,
-        IterativeSolvePattern,
-        MatmulPattern,
+def compile(source: Program | str, strategy: str | None = None) -> Plan:
+    """Deprecated alias of :func:`compile_program` (it shadowed the
+    :func:`python:compile` builtin); will be removed next release."""
+    warnings.warn(
+        "repro.api.compile is deprecated (it shadows the compile builtin); "
+        "use repro.api.compile_program",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    from repro.kernels.linalg import make_spd_system
-
-    pat = gen.pattern
-    m = env.get("m", env.get("n", 16))
-    if isinstance(pat, IterativeSolvePattern):
-        A, b, _ = make_spd_system(m, seed=seed)
-        inputs = {
-            pat.A: A,
-            pat.B: b,
-            "X0": np.zeros(m),
-            "iterations": env.get(pat.iterations, env.get("maxiter", 10)),
-        }
-        if pat.omega:
-            inputs[pat.omega] = 1.1
-        return inputs
-    if isinstance(pat, GaussPattern):
-        A, b, _ = make_spd_system(m, seed=seed)
-        return {pat.A: A, pat.B: b}
-    if isinstance(pat, MatmulPattern):
-        rng = np.random.default_rng(seed)
-        return {pat.left: rng.random((m, m)), pat.right: rng.random((m, m))}
-    raise ReproError(
-        f"cannot build default inputs for strategy {gen.strategy!r}; "
-        f"pass inputs= explicitly"
-    )
+    return compile_program(source, strategy=strategy)
 
 
-@dataclass(frozen=True)
-class Plan:
-    """A compiled program: the source IR plus its generated SPMD code."""
+class Session:
+    """An explicit compile session: machine + cache + service.
 
-    program: Program
-    generated: GeneratedProgram
+    Parameters (all keyword-only):
 
-    @property
-    def strategy(self) -> str:
-        return self.generated.strategy
+    machine:
+        The :class:`MachineModel` whose ``tf``/``tc``/``alpha``
+        parameters are folded into every solve's cache key.
+    cache:
+        ``"off"``, ``"memory"`` (default), ``"disk"`` — or a
+        :class:`PlanCache` instance to share between sessions.
+    cache_capacity:
+        Memory-tier LRU bound.
+    cache_dir:
+        Directory for the disk tier (required for ``cache="disk"``).
 
-    @property
-    def source(self) -> str:
-        """The generated SPMD source text."""
-        return self.generated.source
+    A session is also a context manager; entering starts the job-queue
+    workers and exiting drains them.
+    """
 
-    # -- execution -------------------------------------------------------
-    def run(
+    def __init__(
         self,
-        nprocs: int,
-        env: dict[str, int],
-        model: MachineModel | None = None,
-        inputs: dict | None = None,
-        seed: int = 0,
-        backend: str = "engine",
-        trace: bool = False,
-    ) -> RunResult:
-        """Execute the generated program on *nprocs* simulated processors.
-
-        *backend* selects the deterministic event-driven ``"engine"`` or
-        the real-thread ``"threaded"`` runtime; both produce the same
-        values and traffic.
-        """
-        if backend not in _RUNNERS:
-            raise ReproError(
-                f"unknown backend {backend!r}; expected one of {sorted(_RUNNERS)}"
-            )
-        model = model or MachineModel()
-        fn = load_generated(self.generated)
-        if inputs is None:
-            inputs = _default_inputs(self.generated, env, seed)
-        if self.generated.strategy == "cannon":
-            q = int(round(nprocs**0.5))
-            topology = Grid2D(q, q)
-        else:
-            topology = Ring(nprocs)
-        return _RUNNERS[backend](fn, topology, model, args=(inputs,), trace=trace)
-
-    # -- analysis --------------------------------------------------------
-    def solve(
-        self,
-        nprocs: int,
-        env: dict[str, int],
-        model: MachineModel | None = None,
-        execute: bool = False,
-        backends: tuple[str, ...] = ("engine", "threaded"),
-    ):
-        """Run Algorithm 1 on the program; with ``execute=True`` also
-        lower and run every chosen redistribution, returning the extra
-        :class:`~repro.dp.validate.RedistValidation` element."""
-        from repro.dp.phases import solve_program_distribution
-
-        return solve_program_distribution(
-            self.program, nprocs, env, model or MachineModel(),
-            execute=execute, backends=backends,
+        *,
+        machine: MachineModel | None = None,
+        cache: str | PlanCache | None = "memory",
+        cache_capacity: int = 256,
+        cache_dir=None,
+    ) -> None:
+        self.service = CompileService(
+            machine=machine or MachineModel(),
+            cache=cache,
+            cache_capacity=cache_capacity,
+            cache_dir=cache_dir,
         )
 
-    def explain(
+    @property
+    def machine(self) -> MachineModel:
+        return self.service.machine
+
+    @property
+    def cache(self) -> PlanCache | None:
+        return self.service.cache
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache hit/miss/eviction counters for this session."""
+        return self.service.stats
+
+    # -- compile surface -------------------------------------------------
+    def compile(
         self,
+        source: object,
+        *,
+        guest: str = "dsl",
+        strategy: str | None = None,
         nprocs: int | None = None,
         env: dict[str, int] | None = None,
-        model: MachineModel | None = None,
-    ) -> str:
-        """What the compiler decided, and — with *nprocs*/*env* — what
-        Algorithm 1 chooses for it."""
-        lines = [
-            f"strategy: {self.strategy}",
-            f"entry:    {self.generated.entry}",
-            f"pattern:  {self.generated.pattern!r}",
-        ]
-        if nprocs is not None and env is not None:
-            tables, result = self.solve(nprocs, env, model)
-            lines.append(f"N = {nprocs}, env = {env}")
-            lines.append(f"total cost {result.cost:g} "
-                         f"(loop-carried {result.loop_carried:g})")
-            for (start, length), (scheme, grid) in zip(result.segments, result.schemes):
-                seg = f"L{start}" if length == 1 else f"L{start}..L{start + length - 1}"
-                lines.append(f"  {seg} on {grid[0]}x{grid[1]}: {scheme.describe()}")
-            for label, plan in tables.transition_plans(result):
-                lines.append(f"  change {label}: {plan.total:g} "
-                             f"({plan.analytic_words:g} words)")
-        return "\n".join(lines)
+        execute: bool = False,
+        label: str | None = None,
+    ) -> CompileResult:
+        """Serve one :class:`CompileRequest` (or build one from the
+        keyword arguments) through the cache."""
+        return self.service.compile(
+            source, guest=guest, strategy=strategy, nprocs=nprocs,
+            env=env, execute=execute, label=label,
+        )
+
+    def compile_batch(
+        self,
+        sources,
+        *,
+        guest: str = "dsl",
+        strategy: str | None = None,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        execute: bool = False,
+    ) -> list[CompileResult]:
+        """Compile many programs, sharing alignment/DP sub-results
+        across programs whose segments coincide."""
+        return self.service.compile_batch(
+            sources, guest=guest, strategy=strategy, nprocs=nprocs,
+            env=env, execute=execute,
+        )
+
+    # -- job queue -------------------------------------------------------
+    def submit(self, source: object, **kwargs) -> CompileJob:
+        return self.service.submit(source, **kwargs)
+
+    def start(self, workers: int = 1) -> "Session":
+        self.service.start(workers)
+        return self
+
+    def close(self) -> None:
+        self.service.close()
+
+    def __enter__(self) -> "Session":
+        self.service.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.service.__exit__(*exc)
 
 
 def compile_and_run(
-    program: Program | str,
+    source: Program | str,
     nprocs: int,
     env: dict[str, int],
+    *,
     model: MachineModel | None = None,
     inputs: dict | None = None,
     seed: int = 0,
     backend: str = "engine",
+    guest: str = "dsl",
 ) -> RunResult:
-    """One call: :func:`compile` then :meth:`Plan.run`."""
-    return compile(program).run(
+    """One call: :func:`compile_program` then :meth:`Plan.run`."""
+    return compile_program(source, guest=guest).run(
         nprocs, env, model=model, inputs=inputs, seed=seed, backend=backend
     )

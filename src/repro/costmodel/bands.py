@@ -134,6 +134,31 @@ GAUSS_PIPELINE_MAKESPAN = SlackBand(
     "charges over the forward-elimination analytic form (Fig 8)",
 )
 
+#: Compile service (X11): cold-batch wall time over warm-batch wall time
+#: on the same corpus.  A warm compile is canonicalize + two cache
+#: fetches and skips alignment, the DP and codegen entirely, so the
+#: floor is a hard 10x; the ceiling is loose because both sides are
+#: wall-clock (observed ~20-40x locally).
+COMPILE_WARM_SPEEDUP = SlackBand(
+    "compile-warm-speedup",
+    10.0,
+    10000.0,
+    "warm compiles skip alignment/DP/codegen; canonicalize + unpickle "
+    "must be >= 10x cheaper than a full compile (X11)",
+)
+
+#: Compile service (X11): warm-pass cache hit rate over the expected
+#: 1.0.  Recompiling an unchanged corpus must hit on every plan *and*
+#: every solve lookup — anything below 1.0 means the content address is
+#: unstable (canonicalization drift) and the band names it.
+COMPILE_HIT_RATE = SlackBand(
+    "compile-hit-rate",
+    1.0,
+    1.0,
+    "recompiling an unchanged corpus must hit on every lookup; a miss "
+    "means the canonical digest is unstable (X11)",
+)
+
 BANDS: dict[str, SlackBand] = {
     band.name: band
     for band in (
@@ -145,6 +170,8 @@ BANDS: dict[str, SlackBand] = {
         SOR_PIPELINE_MAKESPAN,
         SOR_NAIVE_MAKESPAN,
         GAUSS_PIPELINE_MAKESPAN,
+        COMPILE_WARM_SPEEDUP,
+        COMPILE_HIT_RATE,
     )
 }
 

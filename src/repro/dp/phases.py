@@ -203,6 +203,7 @@ def build_phase_tables(
     model: MachineModel,
     outer: DoLoop | None = None,
     loops: list[DoLoop] | None = None,
+    segment_memo: dict | None = None,
 ) -> PhaseTables:
     """Construct all (i, j) entries for Algorithm 1.
 
@@ -210,6 +211,13 @@ def build_phase_tables(
     top-level loop (the iterative ``k`` loop of Jacobi/SOR); pass *loops*
     to override, and *outer* for the loop whose carried dependences price
     the iteration boundary.
+
+    *segment_memo* is a caller-owned dict shared across programs of one
+    ``compile_batch``: (i, j) entries are reused between programs whose
+    segments print identically under the same ``(N, env, machine)``.
+    Keys embed array *names* (a :class:`Scheme` does too), so only
+    textually identical segments share — alpha-twins are handled one
+    level up by the whole-plan cache.
     """
     if loops is None:
         if outer is None:
@@ -225,7 +233,32 @@ def build_phase_tables(
         raise CostModelError("no loops to distribute")
 
     with span("dp/tables"):
-        return _build_entries(program, nprocs, env, model, outer, loops)
+        return _build_entries(
+            program, nprocs, env, model, outer, loops, segment_memo
+        )
+
+
+def _print_deep(stmt: Stmt) -> str:
+    # DoLoop.__str__ prints only the header; segment identity needs the
+    # whole subtree.
+    if isinstance(stmt, DoLoop):
+        body = "; ".join(_print_deep(s) for s in stmt.body)
+        return f"{stmt} [{body}]"
+    return str(stmt)
+
+
+def _segment_key(
+    stmts: list[Stmt],
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel,
+) -> tuple:
+    return (
+        tuple(_print_deep(s) for s in stmts),
+        nprocs,
+        tuple(sorted(env.items())),
+        (model.tf, model.tc, model.alpha, model.hop_cost, model.overlap),
+    )
 
 
 def _build_entries(
@@ -235,6 +268,7 @@ def _build_entries(
     model: MachineModel,
     outer: DoLoop | None,
     loops: list[DoLoop],
+    segment_memo: dict | None = None,
 ) -> PhaseTables:
     tables = PhaseTables(
         program=program,
@@ -248,6 +282,13 @@ def _build_entries(
     for i in range(1, s + 1):
         for j in range(1, s - i + 2):
             stmts: list[Stmt] = list(loops[i - 1 : i - 1 + j])
+            memo_key = None
+            if segment_memo is not None:
+                memo_key = _segment_key(stmts, nprocs, env, model)
+                hit = segment_memo.get(memo_key)
+                if hit is not None:
+                    tables.entries[(i, j)] = hit
+                    continue
             with span("alignment/segment"):
                 scheme, alignment, cag = _segment_scheme(
                     stmts, program, env, model, nprocs, name=f"P[{i},{j}]"
@@ -264,13 +305,16 @@ def _build_entries(
                 if total < best_cost:
                     best_cost = total
                     best_grid = grid
-            tables.entries[(i, j)] = PhaseEntry(
+            entry = PhaseEntry(
                 scheme=scheme,
                 grid=best_grid,
                 cost=best_cost,
                 alignment=alignment,
                 cag=cag,
             )
+            tables.entries[(i, j)] = entry
+            if memo_key is not None:
+                segment_memo[memo_key] = entry
     return tables
 
 
@@ -281,6 +325,7 @@ def solve_program_distribution(
     model: MachineModel,
     execute: bool = False,
     backends: tuple[str, ...] = ("engine", "threaded"),
+    segment_memo: dict | None = None,
 ):
     """End-to-end §4 pipeline: tables + Algorithm 1 solution.
 
@@ -290,7 +335,7 @@ def solve_program_distribution(
     is returned, so Algorithm 1's analytic cost model is checked against
     measured message traffic, not just trusted.
     """
-    tables = build_phase_tables(program, nprocs, env, model)
+    tables = build_phase_tables(program, nprocs, env, model, segment_memo=segment_memo)
     result = tables.solve()
     if not execute:
         return tables, result

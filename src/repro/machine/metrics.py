@@ -96,6 +96,11 @@ class Metrics:
     #: ``ack-delay``, ``retry``, ``timeout``, ``crash``, ``checkpoint``,
     #: ``restore``, ``restart`` (see docs/RESILIENCE.md).
     faults: dict[str, int] = field(init=False, default_factory=dict)
+    #: Compile-service counters (``cache_hits``, ``cache_misses``,
+    #: ``cache_evictions``, ``cache_disk_hits``, ``cache_puts``) stamped
+    #: by :meth:`repro.service.compiler.CompileResult.run` so a run's
+    #: snapshot records how its plan was served (docs/API.md).
+    service: dict[str, int] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
@@ -333,6 +338,15 @@ class Metrics:
             table.add_row([key, self.faults[key]])
         return table.render()
 
+    def service_table(self) -> str:
+        table = Table(
+            ["counter", "count"],
+            title="Compile-service cache",
+        )
+        for key in sorted(self.service):
+            table.add_row([key, self.service[key]])
+        return table.render()
+
     def summary(self) -> str:
         parts = [self.rank_table()]
         if any(r.inflight_seconds > 0.0 for r in self.ranks):
@@ -343,6 +357,8 @@ class Metrics:
             parts.append(self.tag_table())
         if self.faults:
             parts.append(self.fault_table())
+        if self.service:
+            parts.append(self.service_table())
         return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
@@ -390,6 +406,13 @@ class Metrics:
                 k: stats(self.by_collective[k]) for k in sorted(self.by_collective)
             },
             "faults": {k: self.faults[k] for k in sorted(self.faults)},
+            # Only present when a compile service stamped it, keeping
+            # pre-service snapshots byte-identical.
+            **(
+                {"service": {k: self.service[k] for k in sorted(self.service)}}
+                if self.service
+                else {}
+            ),
         }
 
     @classmethod
@@ -428,4 +451,5 @@ class Metrics:
             k: stats(v) for k, v in data.get("by_collective", {}).items()
         }
         m.faults = {k: int(v) for k, v in data.get("faults", {}).items()}
+        m.service = {k: int(v) for k, v in data.get("service", {}).items()}
         return m

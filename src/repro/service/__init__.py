@@ -1,0 +1,71 @@
+"""The compile-service layer (compiler-as-a-service).
+
+The paper's pipeline — align (§3), distribute (§4), DP over
+redistribution chains — is a pure function of ``(program, machine,
+alpha/tf/tc, N, env)``.  This package makes that purity pay:
+
+* :mod:`repro.service.normalize` — canonicalization of the loop-nest IR
+  (alpha-renaming, commutative sorting) into a stable text form, hashed
+  together with the machine parameters into a content-addressed digest;
+* :mod:`repro.service.cache` — :class:`PlanCache`, a two-tier
+  (in-memory LRU + on-disk) store from digest to pickled compile
+  artifacts, with hit/miss/eviction counters;
+* :mod:`repro.service.guests` — the front-end registry: the Fortran
+  style DSL is the ``dsl`` guest, decorated Python loop nests are the
+  ``python-ast`` guest, and tool-facing JSON documents are the
+  ``json-ir`` guest; all three lower into the same :class:`Program` IR
+  and therefore share cache entries;
+* :mod:`repro.service.compiler` — :class:`CompileService`: single
+  requests, ``compile_batch`` (alignment/DP sub-results shared across
+  programs hashing to common sub-keys) and a job-queue runner that
+  services requests from worker threads, each request wrapped in a
+  wall-clock span on the compiler Perfetto lane.
+
+:mod:`repro.api` is a thin veneer over this package; see docs/API.md.
+"""
+
+from __future__ import annotations
+
+from repro.service.cache import CacheStats, PlanCache, make_cache
+from repro.service.compiler import (
+    CompileRequest,
+    CompileResult,
+    CompileService,
+)
+from repro.service.guests import (
+    available_guests,
+    get_guest,
+    loop_nest,
+    lower,
+    program_from_json,
+    program_to_json,
+    register_guest,
+)
+from repro.service.normalize import (
+    IR_SCHEMA,
+    CanonicalForm,
+    canonicalize,
+    program_digest,
+    solve_digest,
+)
+
+__all__ = [
+    "IR_SCHEMA",
+    "CanonicalForm",
+    "canonicalize",
+    "program_digest",
+    "solve_digest",
+    "CacheStats",
+    "PlanCache",
+    "make_cache",
+    "available_guests",
+    "get_guest",
+    "register_guest",
+    "loop_nest",
+    "lower",
+    "program_from_json",
+    "program_to_json",
+    "CompileRequest",
+    "CompileResult",
+    "CompileService",
+]

@@ -1,0 +1,178 @@
+"""Two-tier content-addressed plan cache.
+
+:class:`PlanCache` maps a digest (:mod:`repro.service.normalize`) to a
+pickled compile artifact.  Values are stored *as pickle bytes* in both
+tiers — every ``get`` deserializes a fresh object, so cached plans are
+bit-identical to (and isolated from) what was ``put``, and the warm
+path pays exactly one ``pickle.loads``.
+
+* **memory tier** — an ``OrderedDict`` LRU bounded by ``capacity``;
+* **disk tier** — one ``<digest>.pkl`` file per entry under
+  ``disk_dir`` (enabled by passing a directory); memory evictions spill
+  to disk, disk hits are promoted back into memory.
+
+Counters live in :class:`CacheStats` — the compile-side twin of the
+simulator's :class:`repro.machine.metrics.Metrics` registry — and are
+surfaced by :attr:`repro.api.Session.stats` and the X11 benchmark
+records.
+
+Keys embed :data:`repro.service.normalize.IR_SCHEMA`, so a schema bump
+orphans (never corrupts) previously persisted entries; ``prune`` clears
+them from disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either tier (0.0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class PlanCache:
+    """LRU-over-disk store from content digest to pickled artifact."""
+
+    capacity: int = 256
+    disk_dir: pathlib.Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError(f"cache capacity must be >= 1, got {self.capacity}")
+        if self.disk_dir is not None:
+            self.disk_dir = pathlib.Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._mem: OrderedDict[str, bytes] = OrderedDict()
+
+    # -- tiers ----------------------------------------------------------
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def lookup(self, key: str) -> object:
+        """The raw two-tier probe; returns the module-level miss sentinel."""
+        blob = self._mem.get(key)
+        if blob is not None:
+            self._mem.move_to_end(key)
+            self.stats.hits += 1
+            return pickle.loads(blob)
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            blob = path.read_bytes()
+            self._insert(key, blob)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return pickle.loads(blob)
+        self.stats.misses += 1
+        return _MISS
+
+    def get(self, key: str, default: object | None = None) -> object | None:
+        value = self.lookup(key)
+        return default if value is _MISS else value
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._mem:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def put(self, key: str, value: object) -> None:
+        self.stats.puts += 1
+        self._insert(key, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _insert(self, key: str, blob: bytes) -> None:
+        mem = self._mem
+        if key in mem:
+            mem.move_to_end(key)
+            mem[key] = blob
+            return
+        mem[key] = blob
+        while len(mem) > self.capacity:
+            old_key, old_blob = mem.popitem(last=False)
+            self.stats.evictions += 1
+            path = self._disk_path(old_key)
+            if path is not None and not path.exists():
+                path.write_bytes(old_blob)
+        path = self._disk_path(key)
+        if path is not None and not path.exists():
+            path.write_bytes(blob)
+
+    # -- maintenance ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries survive, counters reset)."""
+        self._mem.clear()
+        self.stats = CacheStats()
+
+    def prune(self) -> int:
+        """Delete every on-disk entry; returns the number removed."""
+        if self.disk_dir is None:
+            return 0
+        removed = 0
+        for path in self.disk_dir.glob("*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def make_cache(
+    mode: str = "memory",
+    capacity: int = 256,
+    disk_dir: str | pathlib.Path | None = None,
+) -> PlanCache | None:
+    """Build a cache from the public ``cache="off|memory|disk"`` knob.
+
+    ``disk`` requires *disk_dir*; ``off`` returns ``None`` (the service
+    then compiles every request from scratch).
+    """
+    if mode == "off":
+        return None
+    if mode == "memory":
+        return PlanCache(capacity=capacity)
+    if mode == "disk":
+        if disk_dir is None:
+            raise ReproError('cache="disk" needs cache_dir=')
+        return PlanCache(capacity=capacity, disk_dir=pathlib.Path(disk_dir))
+    raise ReproError(
+        f"unknown cache mode {mode!r}; expected 'off', 'memory' or 'disk'"
+    )

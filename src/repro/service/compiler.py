@@ -1,0 +1,470 @@
+"""The compile service: requests in, content-addressed results out.
+
+:class:`CompileService` is the hub behind :class:`repro.api.Session`.
+A request names a source (in any registered guest surface), an optional
+forced strategy, and — when the caller wants Algorithm 1's answer — the
+machine context ``(nprocs, env)``.  The service lowers, canonicalizes,
+and serves from the :class:`~repro.service.cache.PlanCache` at two
+granularities:
+
+* the **plan key** (canonical IR + strategy) addresses the codegen
+  artifact — recognized pattern and emitted SPMD source;
+* the **solve key** (plan key + machine parameters + ``N`` + env)
+  addresses the alignment/DP tables and Algorithm 1's chosen chain.
+
+Because keys are computed from the *canonicalized* IR, a cached plan
+compiled from one program serves every alpha-twin of it.  The cached
+artifact still speaks the first writer's names, so each hit carries a
+``rename`` map (requester name → stored name, composed from the two
+canonical rename maps); :class:`CompileResult` translates env and input
+keys through it transparently.
+
+``compile_batch`` additionally threads one ``segment_memo`` dict through
+every solve in the batch, sharing per-segment alignment/pricing entries
+across *different* programs whose segments coincide (see
+:func:`repro.dp.phases.build_phase_tables`).
+
+The job-queue runner (``submit``/``start``/``close``) services requests
+from worker threads; every request — queued or direct — is wrapped in a
+``service/request`` span on the compiler Perfetto lane.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+from repro.lang.ast import Program
+from repro.machine.model import MachineModel
+from repro.service.cache import _MISS, CacheStats, PlanCache, make_cache
+from repro.service.guests import lower
+from repro.service.normalize import canonicalize, program_digest, solve_digest
+from repro.service.plan import Plan, SolveOutcome, compile_plan
+from repro.util.spans import span
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One immutable unit of work for the service.
+
+    ``source`` is whatever the named *guest* accepts (DSL text, a
+    :class:`Program`, a decorated function, a JSON document).  With
+    *nprocs* and *env* the request also asks for Algorithm 1's
+    distribution (``wants_solve``); *execute* additionally validates the
+    chosen redistributions on the simulator.
+    """
+
+    source: object
+    guest: str = "dsl"
+    strategy: str | None = None
+    nprocs: int | None = None
+    env: dict[str, int] | None = None
+    execute: bool = False
+    label: str | None = None
+
+    @property
+    def wants_solve(self) -> bool:
+        return self.nprocs is not None and self.env is not None
+
+
+@dataclass(frozen=True)
+class CompileResult:
+    """A served request: the plan plus its cache provenance.
+
+    ``plan`` is the *stored* artifact — when the request hit a cache
+    entry written by an alpha-twin, the plan speaks the twin's names and
+    ``rename`` maps the requester's names onto them.  The delegating
+    surface (:meth:`run`, :meth:`solve`, :meth:`explain`) translates env
+    and input keys through ``rename``, so callers never see the twin.
+    """
+
+    request: CompileRequest
+    digest: str
+    plan: Plan
+    rename: dict[str, str]
+    cached: bool
+    outcome: SolveOutcome | None = None
+    solve_key: str | None = None
+    solve_cached: bool = False
+    wall_seconds: float = 0.0
+    #: Integer cache counters snapshotted at serve time (``hits``,
+    #: ``misses``, ``evictions``, ``disk_hits``, ``puts``); stamped into
+    #: ``RunResult.metrics.service`` by :meth:`run`.
+    service_stats: dict = field(default_factory=dict)
+
+    # -- convenience passthroughs ---------------------------------------
+    @property
+    def program(self) -> Program:
+        return self.plan.program
+
+    @property
+    def generated(self):
+        return self.plan.generated
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy
+
+    @property
+    def source(self) -> str:
+        return self.plan.source
+
+    def translate(self, mapping: dict | None) -> dict | None:
+        """Rewrite requester-side keys (env entries, input arrays) into
+        the stored plan's names; unknown keys pass through untouched."""
+        if mapping is None:
+            return None
+        return {self.rename.get(k, k): v for k, v in mapping.items()}
+
+    # -- delegating surface ---------------------------------------------
+    def run(
+        self,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        *,
+        model: MachineModel | None = None,
+        inputs: dict | None = None,
+        seed: int = 0,
+        backend: str = "engine",
+        trace: bool = False,
+    ):
+        """Execute the plan; *nprocs*/*env* default to the request's."""
+        nprocs = self.request.nprocs if nprocs is None else nprocs
+        env = self.request.env if env is None else env
+        if nprocs is None or env is None:
+            raise ReproError("run() needs nprocs and env (none on the request)")
+        result = self.plan.run(
+            nprocs,
+            self.translate(env),
+            model=model,
+            inputs=self.translate(inputs),
+            seed=seed,
+            backend=backend,
+            trace=trace,
+        )
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None:
+            metrics.service.update(
+                {
+                    "cache_hit": int(self.cached),
+                    "solve_cache_hit": int(self.solve_cached),
+                    **{f"cache_{k}": int(v) for k, v in self.service_stats.items()},
+                }
+            )
+        return result
+
+    def solve(
+        self,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        *,
+        model: MachineModel | None = None,
+        execute: bool = False,
+        backends: tuple[str, ...] = ("engine", "threaded"),
+    ) -> SolveOutcome:
+        """Algorithm 1's answer; returns the request-time outcome when
+        the arguments match what the service already solved."""
+        nprocs = self.request.nprocs if nprocs is None else nprocs
+        env = self.request.env if env is None else env
+        if nprocs is None or env is None:
+            raise ReproError("solve() needs nprocs and env (none on the request)")
+        if (
+            self.outcome is not None
+            and model is None
+            and nprocs == self.request.nprocs
+            and env == self.request.env
+            and execute == self.request.execute
+        ):
+            return self.outcome
+        return self.plan.solve(
+            nprocs, self.translate(env), model=model,
+            execute=execute, backends=backends,
+        )
+
+    def explain(
+        self,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        *,
+        model: MachineModel | None = None,
+    ):
+        nprocs = self.request.nprocs if nprocs is None else nprocs
+        env = self.request.env if env is None else env
+        return self.plan.explain(
+            nprocs, self.translate(env) if env is not None else None, model=model
+        )
+
+
+class CompileJob:
+    """Handle for a queued request; ``wait()`` blocks for the result."""
+
+    def __init__(self, request: CompileRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._result: CompileResult | None = None
+        self._error: BaseException | None = None
+
+    def _finish(self, result: CompileResult | None, error: BaseException | None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> CompileResult:
+        if not self._event.wait(timeout):
+            raise ReproError(
+                f"compile job {self.request.label or self.request.guest!r} "
+                f"timed out after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class CompileService:
+    """Cache-backed compiler hub (see module docstring).
+
+    *cache* is a mode string (``"off"``/``"memory"``/``"disk"``) or an
+    already-built :class:`PlanCache` to share between services.
+    """
+
+    machine: MachineModel = field(default_factory=MachineModel)
+    cache: PlanCache | str | None = "memory"
+    cache_capacity: int = 256
+    cache_dir: object = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.cache, str):
+            self.cache = make_cache(
+                self.cache, capacity=self.cache_capacity, disk_dir=self.cache_dir
+            )
+        self._lock = threading.Lock()
+        self._queue: queue.Queue = queue.Queue()
+        self._workers: list[threading.Thread] = []
+        self._closed = False
+
+    # -- cache plumbing --------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        """Counters of the backing cache (all-zero when ``cache="off"``)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def _cache_lookup(self, cache: PlanCache | None, key: str) -> object:
+        if cache is None:
+            return _MISS
+        with self._lock:
+            return cache.lookup(key)
+
+    def _cache_put(self, cache: PlanCache | None, key: str, value: object) -> None:
+        if cache is None:
+            return
+        with self._lock:
+            cache.put(key, value)
+
+    # -- the request path ------------------------------------------------
+    @staticmethod
+    def request(source: object, **kwargs) -> CompileRequest:
+        """Coerce *source* (or pass a :class:`CompileRequest` through)."""
+        if isinstance(source, CompileRequest):
+            return replace(source, **kwargs) if kwargs else source
+        return CompileRequest(source=source, **kwargs)
+
+    def compile(
+        self,
+        source: object,
+        *,
+        guest: str = "dsl",
+        strategy: str | None = None,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        execute: bool = False,
+        label: str | None = None,
+    ) -> CompileResult:
+        """Serve one request (coalescing keyword args into one if
+        *source* is not already a :class:`CompileRequest`)."""
+        if isinstance(source, CompileRequest):
+            req = source
+        else:
+            req = CompileRequest(
+                source=source, guest=guest, strategy=strategy,
+                nprocs=nprocs, env=env, execute=execute, label=label,
+            )
+        return self._serve(req, self.cache, None)
+
+    def compile_batch(
+        self,
+        sources,
+        *,
+        guest: str = "dsl",
+        strategy: str | None = None,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        execute: bool = False,
+    ) -> list[CompileResult]:
+        """Serve many requests, sharing sub-results across the batch.
+
+        All solves share one segment memo (identical segments of
+        *different* programs are aligned and priced once), and with
+        ``cache="off"`` an ephemeral batch-local cache still coalesces
+        duplicate programs within the batch.
+        """
+        requests = [
+            s if isinstance(s, CompileRequest) else CompileRequest(
+                source=s, guest=guest, strategy=strategy,
+                nprocs=nprocs, env=env, execute=execute,
+            )
+            for s in sources
+        ]
+        cache = self.cache
+        if cache is None and len(requests) > 1:
+            cache = PlanCache(capacity=max(len(requests) * 2, 8))
+        segment_memo: dict = {}
+        with span("service/batch"):
+            return [self._serve(req, cache, segment_memo) for req in requests]
+
+    def _serve(
+        self,
+        req: CompileRequest,
+        cache: PlanCache | None,
+        segment_memo: dict | None,
+    ) -> CompileResult:
+        t0 = time.perf_counter()
+        with span("service/request"):
+            program = lower(req.source, req.guest)
+            form = canonicalize(program)
+            plan_key = program_digest(program, req.strategy, form=form)
+
+            entry = self._cache_lookup(cache, plan_key)
+            if entry is _MISS:
+                plan = compile_plan(program, strategy=req.strategy)
+                rename = {name: name for name in form.rename}
+                self._cache_put(
+                    cache, plan_key,
+                    {"program": program, "generated": plan.generated,
+                     "rename": dict(form.rename)},
+                )
+                cached = False
+            else:
+                plan = Plan(program=entry["program"], generated=entry["generated"])
+                # requester orig -> canon -> stored orig
+                from_canon = {c: o for o, c in entry["rename"].items()}
+                rename = {
+                    orig: from_canon[canon]
+                    for orig, canon in form.rename.items()
+                    if canon in from_canon
+                }
+                cached = True
+
+            outcome: SolveOutcome | None = None
+            solve_key: str | None = None
+            solve_cached = False
+            if req.wants_solve:
+                solve_key = solve_digest(
+                    program, req.nprocs, req.env, self.machine,
+                    req.strategy, execute=req.execute, form=form,
+                )
+                hit = self._cache_lookup(cache, solve_key)
+                if hit is _MISS:
+                    env_stored = {rename.get(k, k): v for k, v in req.env.items()}
+                    outcome = plan.solve(
+                        req.nprocs, env_stored, model=self.machine,
+                        execute=req.execute, segment_memo=segment_memo,
+                    )
+                    self._cache_put(cache, solve_key, outcome)
+                else:
+                    outcome = hit
+                    solve_cached = True
+
+        stats = cache.stats if cache is not None else None
+        return CompileResult(
+            request=req,
+            digest=plan_key,
+            plan=plan,
+            rename=rename,
+            cached=cached,
+            outcome=outcome,
+            solve_key=solve_key,
+            solve_cached=solve_cached,
+            wall_seconds=time.perf_counter() - t0,
+            service_stats={
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "disk_hits": stats.disk_hits,
+                "puts": stats.puts,
+            }
+            if stats is not None
+            else {},
+        )
+
+    # -- job queue -------------------------------------------------------
+    def submit(self, source: object, **kwargs) -> CompileJob:
+        """Enqueue a request for the worker pool; returns its handle.
+
+        Call :meth:`start` (or enter the service as a context manager)
+        to spin up workers; jobs submitted earlier are picked up then.
+        """
+        if self._closed:
+            raise ReproError("service is closed")
+        job = CompileJob(self.request(source, **kwargs))
+        self._queue.put(job)
+        return job
+
+    def start(self, workers: int = 1) -> "CompileService":
+        """Start *workers* daemon threads draining the job queue."""
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        for n in range(workers):
+            # Give each worker a copy of the caller's context so spans
+            # recorded inside jobs land on the caller's recorder.
+            ctx = contextvars.copy_context()
+            thread = threading.Thread(
+                target=ctx.run,
+                args=(self._worker_loop,),
+                name=f"compile-service-{len(self._workers) + n}",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+        return self
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            try:
+                job._finish(self._serve(job.request, self.cache, None), None)
+            except BaseException as exc:  # delivered via job.wait()
+                job._finish(None, exc)
+            finally:
+                self._queue.task_done()
+
+    def close(self) -> None:
+        """Stop the workers after the queue drains (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join()
+        self._workers.clear()
+
+    def __enter__(self) -> "CompileService":
+        if not self._workers:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,325 @@
+"""Canonical form + content addressing for the loop-nest IR.
+
+Two programs that the compiler cannot tell apart must hash identically;
+two programs the compiler could treat differently must not.  The
+canonicalization pass realizes the first half:
+
+* **alpha-renaming** — arrays, parameters, scalars and loop indices are
+  renamed to positional names (``a0``, ``p0``, ``w0``, ``i0``) in order
+  of first use during a pre-order walk of the body, so the digest is
+  independent of user spelling;
+* **declaration order** — declarations are serialized sorted by their
+  canonical names, so permuting ``PARAM``/``ARRAY`` lines does not
+  change the digest;
+* **commutative sorting** — chains of ``+`` and ``*`` are flattened and
+  their operands sorted by canonical serialization, so ``a + b`` and
+  ``b + a`` coincide (``-`` and ``/`` keep their order);
+* **whitespace/comments** — already erased by parsing: the digest is
+  computed from the IR, never the source text.
+
+The machine parameters that the alignment/DP results depend on
+(``tf``/``tc``/``alpha``/``hop_cost``/``overlap``, the processor count
+``P`` and the parameter environment) are folded into the *solve* digest;
+the *program* digest covers codegen only (which depends on the program
+and the forced strategy alone).
+
+Every digest is prefixed by :data:`IR_SCHEMA`; bumping it invalidates
+all previously persisted cache entries at once (see docs/API.md,
+"cache semantics").
+
+Known limit: commutative operands are ordered by a *name-blind* key
+before first-use naming, so swaps like ``A(i,j)*X(j)`` vs
+``X(j)*A(i,j)`` coincide even when both symbols are first used inside
+the swapped chain.  When two operands are blind-identical (same shape,
+both unseen — e.g. ``V(i) + W(i)``), ties resolve in syntactic order,
+and an exotic twin that also swaps the rest of the uses may still hash
+apart.  Splits never hash together wrongly, which is the side
+correctness needs: a digest collision would serve the wrong plan, a
+digest split merely misses the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.lang.affine import Affine
+from repro.lang.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DoLoop,
+    Expr,
+    Num,
+    Program,
+    ScalarRef,
+    Stmt,
+    UnaryOp,
+)
+from repro.machine.model import MachineModel
+
+#: Version tag folded into every digest.  Bump on any change to the
+#: canonical serialization, the Plan pickle layout or the compiler
+#: semantics: all persisted cache entries become unreachable (a schema
+#: bump is the invalidation story — stale entries are never *read*).
+IR_SCHEMA = "repro-ir/1"
+
+_ROLE_PREFIX = {"array": "a", "param": "p", "scalar": "w", "loop": "i"}
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical serialization of a program plus its rename map.
+
+    ``rename`` maps every *declared* name (arrays, params, scalars) of
+    the original program to its canonical name — the bridge that lets a
+    cached plan compiled from one alpha-twin serve another (env and
+    input keys are translated through the composition of two of these
+    maps, see :meth:`repro.service.compiler.CompileResult.translate`).
+    """
+
+    text: str
+    rename: dict[str, str]
+
+    def digest(self, *extra: str) -> str:
+        h = hashlib.sha256()
+        h.update(IR_SCHEMA.encode())
+        h.update(self.text.encode())
+        for part in extra:
+            h.update(b"\x00")
+            h.update(part.encode())
+        return h.hexdigest()
+
+
+class _Namer:
+    """First-use positional renaming, one counter per role."""
+
+    def __init__(self, program: Program) -> None:
+        self.role: dict[str, str] = {}
+        for name in program.arrays:
+            self.role[name] = "array"
+        for name in program.params:
+            self.role[name] = "param"
+        for name in program.scalars:
+            self.role[name] = "scalar"
+        self.assigned: dict[str, str] = {}
+        self.counters: dict[str, int] = {p: 0 for p in _ROLE_PREFIX}
+
+    def canon(self, name: str, role: str | None = None) -> str:
+        got = self.assigned.get(name)
+        if got is not None:
+            return got
+        role = role or self.role.get(name, "scalar")
+        prefix = _ROLE_PREFIX[role]
+        idx = self.counters[role]
+        self.counters[role] = idx + 1
+        fresh = f"{prefix}{idx}"
+        self.assigned[name] = fresh
+        return fresh
+
+
+def _affine(aff: Affine, namer: _Namer) -> str:
+    # Name unseen variables in a deterministic order (coefficient, then
+    # original spelling — the documented tie-break) before sorting the
+    # serialized terms by canonical name.
+    for var, _coeff in sorted(aff.coeffs.items(), key=lambda kv: (kv[1], kv[0])):
+        namer.canon(var)
+    terms = sorted((namer.canon(v), c) for v, c in aff.coeffs.items())
+    inner = " ".join(f"({v} {c})" for v, c in terms)
+    return f"(aff {aff.const}{' ' + inner if inner else ''})"
+
+
+_COMMUTATIVE = {"+", "*"}
+
+
+def _blind_affine(aff: Affine, namer: _Namer) -> str:
+    """Affine serialization with unassigned names erased to role marks."""
+    terms = sorted(
+        (namer.assigned.get(v) or _ROLE_PREFIX[namer.role.get(v, "scalar")] + "?", c)
+        for v, c in aff.coeffs.items()
+    )
+    inner = " ".join(f"({v} {c})" for v, c in terms)
+    return f"(aff {aff.const}{' ' + inner if inner else ''})"
+
+
+def _blind(expr: Expr, namer: _Namer) -> str:
+    """Name-blind serialization: already-canonicalized names appear (they
+    are rename-invariant), not-yet-named symbols collapse to their role
+    mark.  Used to order commutative operands *before* first-use naming
+    touches them, so ``a + b`` and ``b + a`` name their operands in the
+    same order even when both are first used inside the swapped chain."""
+    if isinstance(expr, Num):
+        return f"(num {expr.value!r})"
+    if isinstance(expr, ScalarRef):
+        got = namer.assigned.get(expr.name)
+        return got or _ROLE_PREFIX[namer.role.get(expr.name, "scalar")] + "?"
+    if isinstance(expr, ArrayRef):
+        name = namer.assigned.get(expr.name) or "a?"
+        subs = " ".join(_blind_affine(s, namer) for s in expr.subscripts)
+        return f"(ref {name} {subs})"
+    if isinstance(expr, UnaryOp):
+        return f"(u{expr.op} {_blind(expr.operand, namer)})"
+    if isinstance(expr, Call):
+        args = " ".join(_blind(a, namer) for a in expr.args)
+        return f"(call {expr.name} {args})"
+    if isinstance(expr, BinOp):
+        if expr.op in _COMMUTATIVE:
+            keys = sorted(_blind(e, namer) for e in _flatten(expr, expr.op))
+            return f"({expr.op} {' '.join(keys)})"
+        return f"({expr.op} {_blind(expr.left, namer)} {_blind(expr.right, namer)})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _expr(expr: Expr, namer: _Namer) -> str:
+    if isinstance(expr, Num):
+        return f"(num {expr.value!r})"
+    if isinstance(expr, ScalarRef):
+        return namer.canon(expr.name)
+    if isinstance(expr, ArrayRef):
+        subs = " ".join(_affine(s, namer) for s in expr.subscripts)
+        return f"(ref {namer.canon(expr.name, 'array')} {subs})"
+    if isinstance(expr, UnaryOp):
+        return f"(u{expr.op} {_expr(expr.operand, namer)})"
+    if isinstance(expr, Call):
+        args = " ".join(_expr(a, namer) for a in expr.args)
+        return f"(call {expr.name} {args})"
+    if isinstance(expr, BinOp):
+        if expr.op in _COMMUTATIVE:
+            # Blind keys first (computed before any naming below mutates
+            # the namer), then name + serialize in blind order; ties
+            # keep syntactic order (sorted() is stable).
+            operands = sorted(
+                _flatten(expr, expr.op), key=lambda e: _blind(e, namer)
+            )
+            texts = [_expr(e, namer) for e in operands]
+            return f"({expr.op} {' '.join(sorted(texts))})"
+        return f"({expr.op} {_expr(expr.left, namer)} {_expr(expr.right, namer)})"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _flatten(expr: Expr, op: str) -> list[Expr]:
+    if isinstance(expr, BinOp) and expr.op == op:
+        return _flatten(expr.left, op) + _flatten(expr.right, op)
+    return [expr]
+
+
+def _stmt(stmt: Stmt, namer: _Namer) -> str:
+    if isinstance(stmt, Assign):
+        return f"(= {_expr(stmt.lhs, namer)} {_expr(stmt.rhs, namer)})"
+    if isinstance(stmt, DoLoop):
+        var = namer.canon(stmt.var, "loop")
+        lb = _affine(stmt.lb, namer)
+        ub = _affine(stmt.ub, namer)
+        body = " ".join(_stmt(s, namer) for s in stmt.body)
+        return f"(do {var} {lb} {ub} {stmt.step} ({body}))"
+    raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def canonicalize(program: Program) -> CanonicalForm:
+    """Serialize *program* into its canonical text (see module doc)."""
+    namer = _Namer(program)
+    body = " ".join(_stmt(s, namer) for s in program.body)
+
+    # Declarations after the body: names are now fixed by use order, so
+    # permuting declaration lines cannot perturb them.  Arrays never
+    # referenced in the body are named here, ordered structurally.
+    unused = sorted(
+        (name for name in program.arrays if name not in namer.assigned),
+        key=lambda n: (program.arrays[n].rank, n),
+    )
+    for name in unused:
+        namer.canon(name, "array")
+    arrays = []
+    for name in sorted(program.arrays, key=lambda n: namer.canon(n, "array")):
+        extents = " ".join(_affine(e, namer) for e in program.arrays[name].extents)
+        arrays.append(f"({namer.canon(name, 'array')} {extents})")
+    params = sorted(namer.canon(p, "param") for p in program.params)
+    scalars = sorted(namer.canon(s, "scalar") for s in program.scalars)
+    directives = sorted(
+        f"({namer.canon(name, 'array')} {' '.join(spec)})"
+        for name, spec in program.directives.items()
+    )
+    alignments = sorted(
+        f"(({namer.canon(sa, 'array')} {sd}) ({namer.canon(ta, 'array')} {td}))"
+        for (sa, sd), (ta, td) in program.alignments
+    )
+
+    text = (
+        f"(program (params {' '.join(params)})"
+        f" (scalars {' '.join(scalars)})"
+        f" (arrays {' '.join(arrays)})"
+        f" (distribute {' '.join(directives)})"
+        f" (align {' '.join(alignments)})"
+        f" (body {body}))"
+    )
+    rename = {
+        name: canon
+        for name, canon in namer.assigned.items()
+        if namer.role.get(name) in ("array", "param", "scalar")
+    }
+    # Declared-but-unused params/scalars still need stable entries so
+    # env translation on a cache hit never drops a key.
+    for name in program.params:
+        if name not in rename:
+            rename[name] = namer.canon(name, "param")
+    for name in program.scalars:
+        if name not in rename:
+            rename[name] = namer.canon(name, "scalar")
+    if any(name not in rename for name in program.arrays):  # pragma: no cover
+        raise AssertionError("canonicalize left an array unnamed")
+    return CanonicalForm(text=text, rename=rename)
+
+
+def _machine_part(model: MachineModel) -> str:
+    return (
+        f"(machine {model.tf!r} {model.tc!r} {model.alpha!r} "
+        f"{model.hop_cost!r} {int(model.overlap)})"
+    )
+
+
+def _strategy_part(strategy: str | None) -> str:
+    return f"(strategy {strategy or '-'})"
+
+
+def program_digest(
+    program: Program,
+    strategy: str | None = None,
+    *,
+    form: CanonicalForm | None = None,
+) -> str:
+    """Content address of the codegen problem: canonical IR + strategy.
+
+    Pass *form* to reuse an already-computed :func:`canonicalize` result.
+    """
+    form = form or canonicalize(program)
+    return form.digest(_strategy_part(strategy))
+
+
+def solve_digest(
+    program: Program,
+    nprocs: int,
+    env: dict[str, int],
+    model: MachineModel,
+    strategy: str | None = None,
+    *,
+    execute: bool = False,
+    form: CanonicalForm | None = None,
+) -> str:
+    """Content address of the full compile: IR, strategy, machine, P, env.
+
+    Environment keys are translated to canonical names, so alpha-twins
+    solved under equivalent environments share the DP entry.  *execute*
+    is folded in because an executed solve carries the extra validation
+    payload.
+    """
+    form = form or canonicalize(program)
+    items = sorted((form.rename.get(k, k), v) for k, v in env.items())
+    env_part = " ".join(f"({k} {v!r})" for k, v in items)
+    return form.digest(
+        _strategy_part(strategy),
+        _machine_part(model),
+        f"(nprocs {nprocs})",
+        f"(env {env_part})",
+        f"(execute {int(execute)})",
+    )

@@ -1,0 +1,275 @@
+"""Compiled-program artifacts: :class:`Plan` and its typed payloads.
+
+A :class:`Plan` is the unit the content-addressed cache stores: the
+source IR plus its generated SPMD code.  Its inspection surfaces return
+typed dataclasses rather than ad-hoc dicts/tuples:
+
+* :meth:`Plan.solve` → :class:`SolveOutcome` (iterable like the legacy
+  ``(tables, result[, validation])`` tuple, so unpacking call sites
+  keep working);
+* :meth:`Plan.explain` → :class:`Explanation` (``str()`` renders the
+  familiar report; the fields are machine-readable).
+
+Machine parameters are keyword-only throughout: the positional surface
+is just ``(nprocs, env)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
+from repro.errors import ReproError
+from repro.lang.ast import Program
+from repro.machine.engine import RunResult, run_spmd
+from repro.machine.model import MachineModel
+from repro.machine.threaded import run_spmd_threaded
+from repro.machine.topology import Grid2D, Ring
+
+_RUNNERS = {"engine": run_spmd, "threaded": run_spmd_threaded}
+
+
+def _default_inputs(gen: GeneratedProgram, env: dict[str, int], seed: int) -> dict:
+    """Fabricate inputs matching the recognized pattern (SPD system for
+    solvers, random operands for matmul)."""
+    import numpy as np
+
+    from repro.codegen.patterns import (
+        GaussPattern,
+        IterativeSolvePattern,
+        MatmulPattern,
+    )
+    from repro.kernels.linalg import make_spd_system
+
+    pat = gen.pattern
+    m = env.get("m", env.get("n", 16))
+    if isinstance(pat, IterativeSolvePattern):
+        A, b, _ = make_spd_system(m, seed=seed)
+        inputs = {
+            pat.A: A,
+            pat.B: b,
+            "X0": np.zeros(m),
+            "iterations": env.get(pat.iterations, env.get("maxiter", 10)),
+        }
+        if pat.omega:
+            inputs[pat.omega] = 1.1
+        return inputs
+    if isinstance(pat, GaussPattern):
+        A, b, _ = make_spd_system(m, seed=seed)
+        return {pat.A: A, pat.B: b}
+    if isinstance(pat, MatmulPattern):
+        rng = np.random.default_rng(seed)
+        return {pat.left: rng.random((m, m)), pat.right: rng.random((m, m))}
+    raise ReproError(
+        f"cannot build default inputs for strategy {gen.strategy!r}; "
+        f"pass inputs= explicitly"
+    )
+
+
+@dataclass(frozen=True)
+class SegmentChoice:
+    """One chosen segment of the DP chain: where it runs and how."""
+
+    label: str  # "L1" or "L1..L2"
+    start: int
+    length: int
+    grid: tuple[int, int]
+    description: str  # Scheme.describe()
+
+
+@dataclass(frozen=True)
+class TransitionCost:
+    """One redistribution along the chosen chain."""
+
+    label: str  # "L1 -> L2" or "loop[X]"
+    total: float
+    analytic_words: float
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """What the compiler decided (and, with a solve, what Algorithm 1
+    chose); ``str()`` renders the human-readable report."""
+
+    strategy: str
+    entry: str
+    pattern: object
+    nprocs: int | None = None
+    env: dict | None = None
+    total_cost: float | None = None
+    loop_carried: float | None = None
+    segments: tuple[SegmentChoice, ...] = ()
+    transitions: tuple[TransitionCost, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [
+            f"strategy: {self.strategy}",
+            f"entry:    {self.entry}",
+            f"pattern:  {self.pattern!r}",
+        ]
+        if self.nprocs is not None and self.env is not None:
+            lines.append(f"N = {self.nprocs}, env = {self.env}")
+            lines.append(f"total cost {self.total_cost:g} "
+                         f"(loop-carried {self.loop_carried:g})")
+            for seg in self.segments:
+                lines.append(
+                    f"  {seg.label} on {seg.grid[0]}x{seg.grid[1]}: {seg.description}"
+                )
+            for tr in self.transitions:
+                lines.append(f"  change {tr.label}: {tr.total:g} "
+                             f"({tr.analytic_words:g} words)")
+        return "\n".join(lines)
+
+    def __contains__(self, item: str) -> bool:
+        return item in str(self)
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """Algorithm 1's answer for a plan under ``(nprocs, env, machine)``.
+
+    Iterates like the legacy tuple — ``tables, result = plan.solve(...)``
+    and the three-element ``execute=True`` unpacking both still work.
+    """
+
+    tables: object  # repro.dp.phases.PhaseTables
+    result: object  # repro.dp.algorithm1.DPResult
+    validation: object | None = None  # repro.dp.validate.RedistValidation
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+    @property
+    def loop_carried(self) -> float:
+        return self.result.loop_carried
+
+    def __iter__(self):
+        yield self.tables
+        yield self.result
+        if self.validation is not None:
+            yield self.validation
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A compiled program: the source IR plus its generated SPMD code."""
+
+    program: Program
+    generated: GeneratedProgram
+
+    @property
+    def strategy(self) -> str:
+        return self.generated.strategy
+
+    @property
+    def source(self) -> str:
+        """The generated SPMD source text."""
+        return self.generated.source
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        nprocs: int,
+        env: dict[str, int],
+        *,
+        model: MachineModel | None = None,
+        inputs: dict | None = None,
+        seed: int = 0,
+        backend: str = "engine",
+        trace: bool = False,
+    ) -> RunResult:
+        """Execute the generated program on *nprocs* simulated processors.
+
+        *backend* selects the deterministic event-driven ``"engine"`` or
+        the real-thread ``"threaded"`` runtime; both produce the same
+        values and traffic.
+        """
+        if backend not in _RUNNERS:
+            raise ReproError(
+                f"unknown backend {backend!r}; expected one of {sorted(_RUNNERS)}"
+            )
+        model = model or MachineModel()
+        fn = load_generated(self.generated)
+        if inputs is None:
+            inputs = _default_inputs(self.generated, env, seed)
+        if self.generated.strategy == "cannon":
+            q = int(round(nprocs**0.5))
+            topology = Grid2D(q, q)
+        else:
+            topology = Ring(nprocs)
+        return _RUNNERS[backend](fn, topology, model, args=(inputs,), trace=trace)
+
+    # -- analysis --------------------------------------------------------
+    def solve(
+        self,
+        nprocs: int,
+        env: dict[str, int],
+        *,
+        model: MachineModel | None = None,
+        execute: bool = False,
+        backends: tuple[str, ...] = ("engine", "threaded"),
+        segment_memo: dict | None = None,
+    ) -> SolveOutcome:
+        """Run Algorithm 1 on the program; with ``execute=True`` also
+        lower and run every chosen redistribution
+        (:mod:`repro.dp.validate`) and fill ``validation``."""
+        from repro.dp.phases import solve_program_distribution
+
+        out = solve_program_distribution(
+            self.program, nprocs, env, model or MachineModel(),
+            execute=execute, backends=backends, segment_memo=segment_memo,
+        )
+        if execute:
+            tables, result, validation = out
+            return SolveOutcome(tables=tables, result=result, validation=validation)
+        tables, result = out
+        return SolveOutcome(tables=tables, result=result)
+
+    def explain(
+        self,
+        nprocs: int | None = None,
+        env: dict[str, int] | None = None,
+        *,
+        model: MachineModel | None = None,
+    ) -> Explanation:
+        """What the compiler decided, and — with *nprocs*/*env* — what
+        Algorithm 1 chooses for it."""
+        base = dict(
+            strategy=self.strategy,
+            entry=self.generated.entry,
+            pattern=self.generated.pattern,
+        )
+        if nprocs is None or env is None:
+            return Explanation(**base)
+        outcome = self.solve(nprocs, env, model=model)
+        tables, result = outcome.tables, outcome.result
+        segments = []
+        for (start, length), (scheme, grid) in zip(result.segments, result.schemes):
+            label = f"L{start}" if length == 1 else f"L{start}..L{start + length - 1}"
+            segments.append(
+                SegmentChoice(
+                    label=label, start=start, length=length,
+                    grid=grid, description=scheme.describe(),
+                )
+            )
+        transitions = [
+            TransitionCost(
+                label=label, total=plan.total, analytic_words=plan.analytic_words
+            )
+            for label, plan in tables.transition_plans(result)
+        ]
+        return Explanation(
+            **base,
+            nprocs=nprocs,
+            env=dict(env),
+            total_cost=result.cost,
+            loop_carried=result.loop_carried,
+            segments=tuple(segments),
+            transitions=tuple(transitions),
+        )
+
+
+def compile_plan(program: Program, strategy: str | None = None) -> Plan:
+    """Recognize *program* and generate its SPMD code (no cache)."""
+    return Plan(program=program, generated=generate_spmd(program, strategy=strategy))

@@ -1,4 +1,4 @@
-"""The ``repro.api`` facade and the deprecation of the old entry points."""
+"""The ``repro.api`` facade: compile_program, Plan payloads, removals."""
 
 from __future__ import annotations
 
@@ -18,29 +18,42 @@ MODEL = MachineModel(tf=1, tc=10)
 ENV = {"m": 16, "maxiter": 3}
 
 
-class TestCompile:
-    def test_compile_returns_plan(self):
-        plan = api.compile(jacobi_program())
+class TestCompileProgram:
+    def test_compile_program_returns_plan(self):
+        plan = api.compile_program(jacobi_program())
         assert isinstance(plan, api.Plan)
         assert plan.strategy == "data-parallel"
         assert "def " in plan.source
 
-    def test_compile_accepts_source_text(self):
+    def test_compile_program_accepts_source_text(self):
         from repro.lang import program_to_text
 
-        plan = api.compile(program_to_text(jacobi_program()))
+        plan = api.compile_program(program_to_text(jacobi_program()))
         assert plan.strategy == "data-parallel"
 
+    def test_compile_alias_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="compile_program"):
+            plan = api.compile(jacobi_program())
+        assert plan.generated.source == api.compile_program(
+            jacobi_program()
+        ).generated.source
+
     def test_top_level_reexports(self):
-        assert repro.compile is api.compile
+        assert repro.compile_program is api.compile_program
         assert repro.Plan is api.Plan
-        assert "compile" in repro.__all__
-        assert "Plan" in repro.__all__
+        assert repro.Session is api.Session
+        for name in ("compile_program", "Plan", "Session",
+                     "CompileRequest", "CompileResult"):
+            assert name in repro.__all__
+
+    def test_strategy_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.compile_program(jacobi_program(), "jacobi")  # noqa: too-many-args
 
 
 class TestPlanRun:
     def test_run_converges_like_reference(self):
-        plan = api.compile(jacobi_program())
+        plan = api.compile_program(jacobi_program())
         res = plan.run(4, ENV, model=MODEL)
         x = np.asarray(res.values[0])
         # All ranks agree on the solved vector.
@@ -48,7 +61,7 @@ class TestPlanRun:
             assert np.allclose(np.asarray(res.values[rank]), x)
 
     def test_engine_and_threaded_backends_agree(self):
-        plan = api.compile(jacobi_program())
+        plan = api.compile_program(jacobi_program())
         a = plan.run(4, ENV, model=MODEL, seed=5)
         b = plan.run(4, ENV, model=MODEL, seed=5, backend="threaded")
         assert np.allclose(np.asarray(a.values[0]), np.asarray(b.values[0]))
@@ -57,9 +70,14 @@ class TestPlanRun:
     def test_unknown_backend_rejected(self):
         from repro.errors import ReproError
 
-        plan = api.compile(jacobi_program())
+        plan = api.compile_program(jacobi_program())
         with pytest.raises(ReproError, match="backend"):
             plan.run(4, ENV, backend="mpi")
+
+    def test_machine_params_keyword_only(self):
+        plan = api.compile_program(jacobi_program())
+        with pytest.raises(TypeError):
+            plan.run(4, ENV, MODEL)  # noqa: too-many-args
 
     def test_compile_and_run_one_call(self):
         res = api.compile_and_run(matmul_program(), 4, {"n": 8}, model=MODEL)
@@ -68,18 +86,35 @@ class TestPlanRun:
 
 class TestPlanExplainAndSolve:
     def test_explain_without_solve(self):
-        text = api.compile(jacobi_program()).explain()
-        assert "strategy: data-parallel" in text
+        explanation = api.compile_program(jacobi_program()).explain()
+        assert isinstance(explanation, api.Explanation)
+        assert "strategy: data-parallel" in str(explanation)
+        assert explanation.nprocs is None
 
     def test_explain_with_dp(self):
-        text = api.compile(jacobi_program()).explain(
+        explanation = api.compile_program(jacobi_program()).explain(
             nprocs=16, env={"m": 256, "maxiter": 1}, model=MODEL
         )
+        # Typed fields...
+        assert explanation.total_cost == pytest.approx(10640)
+        assert any(tr.label == "loop[X]" for tr in explanation.transitions)
+        assert all(seg.grid[0] * seg.grid[1] == 16 for seg in explanation.segments)
+        # ...and the rendered report still reads like the old string.
+        text = str(explanation)
         assert "total cost 10640" in text
         assert "loop[X]" in text
+        assert "total cost 10640" in explanation  # __contains__ delegates
+
+    def test_solve_returns_outcome_and_unpacks(self):
+        plan = api.compile_program(jacobi_program())
+        outcome = plan.solve(4, {"m": 64, "maxiter": 1}, model=MODEL)
+        assert isinstance(outcome, api.SolveOutcome)
+        assert outcome.cost > 0
+        tables, result = outcome  # legacy tuple unpacking
+        assert result is outcome.result and tables is outcome.tables
 
     def test_solve_execute_mode(self):
-        plan = api.compile(jacobi_program())
+        plan = api.compile_program(jacobi_program())
         tables, result, validation = plan.solve(
             4, {"m": 64, "maxiter": 1}, model=MODEL,
             execute=True, backends=("engine",),
@@ -87,37 +122,17 @@ class TestPlanExplainAndSolve:
         assert validation.ok
 
 
-class TestDeprecationShims:
-    def test_compile_and_run_warns(self):
-        with pytest.warns(DeprecationWarning, match="compile_and_run"):
-            repro.compile_and_run(jacobi_program(), 4, ENV, model=MODEL)
+class TestRemovedEntryPoints:
+    """The PR-2 deprecation shims are gone, not just quiet."""
 
-    def test_solve_program_distribution_warns(self):
-        with pytest.warns(DeprecationWarning, match="solve_program_distribution"):
-            repro.solve_program_distribution(
-                jacobi_program(), 4, {"m": 16, "maxiter": 1}, MODEL
-            )
-
-    def test_generate_spmd_warns(self):
-        with pytest.warns(DeprecationWarning, match="generate_spmd"):
-            repro.generate_spmd(jacobi_program())
-
-    def test_run_spmd_warns(self):
-        from repro.machine import Ring
-
-        def prog(p):
-            return p.rank
-            yield
-
-        with pytest.warns(DeprecationWarning, match="run_spmd"):
-            repro.run_spmd(prog, Ring(2), MODEL)
-
-    def test_shims_delegate_to_originals(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = repro.generate_spmd(jacobi_program())
-        new = api.compile(jacobi_program()).generated
-        assert old.source == new.source
+    @pytest.mark.parametrize(
+        "name",
+        ["compile_and_run", "solve_program_distribution",
+         "generate_spmd", "run_spmd", "compile"],
+    )
+    def test_top_level_name_removed(self, name):
+        assert not hasattr(repro, name)
+        assert name not in repro.__all__
 
     def test_submodule_originals_do_not_warn(self):
         from repro.codegen import generate_spmd
@@ -130,12 +145,33 @@ class TestDeprecationShims:
                 jacobi_program(), 4, {"m": 16, "maxiter": 1}, MODEL
             )
 
-    def test_repro_api_importable_with_warnings_as_errors(self):
-        """The CI leg: importing only the facade raises no deprecations."""
+    def test_repro_importable_with_warnings_as_errors(self):
+        """The CI leg: importing the package raises no deprecations."""
         proc = subprocess.run(
             [sys.executable, "-W", "error::DeprecationWarning", "-c",
-             "import repro.api"],
+             "import repro, repro.api, repro.service"],
             capture_output=True,
             text=True,
         )
         assert proc.returncode == 0, proc.stderr
+
+    def test_no_source_references_removed_names(self):
+        """Sweep src/ + examples/ for imports of the removed top-level
+        names (the in-repo half of the CI deprecated-import gate)."""
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        removed = re.compile(
+            r"from\s+repro\s+import\s+[^\n]*\b"
+            r"(compile_and_run|solve_program_distribution|generate_spmd|"
+            r"run_spmd|compile\b(?!_program))"
+            r"|repro\.(compile_and_run|solve_program_distribution"
+            r"|generate_spmd|run_spmd|compile)\s*\("
+        )
+        offenders = []
+        for base in ("src", "examples", "benchmarks"):
+            for path in (root / base).rglob("*.py"):
+                if removed.search(path.read_text()):
+                    offenders.append(str(path.relative_to(root)))
+        assert not offenders, f"deprecated entry points referenced in: {offenders}"

@@ -1,0 +1,189 @@
+"""Canonicalization + content addressing (repro.service.normalize).
+
+The contract under test: programs the compiler cannot tell apart hash
+identically (alpha-renaming, whitespace, declaration order, commutative
+operand order), while programs it could treat differently (different
+structure, strategy, machine parameters, N, env) hash apart.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import (
+    gauss_program,
+    jacobi_program,
+    matmul_program,
+    parse_program,
+    sor_program,
+)
+from repro.lang.programs import JACOBI_SOURCE, SOR_SOURCE
+from repro.machine.model import MachineModel
+from repro.service import canonicalize, program_digest, solve_digest
+
+MODEL = MachineModel(tf=1, tc=10)
+
+# Identifiers of the Jacobi listing, by role.
+JACOBI_NAMES = ["A", "V", "B", "X", "m", "maxiter", "k", "i", "j"]
+FRESH = [f"Q{i}Z" for i in range(len(JACOBI_NAMES))]
+
+
+def rename_source(source: str, mapping: dict[str, str]) -> str:
+    """Apply an identifier bijection to DSL text (word-boundary safe)."""
+    def sub(match: re.Match) -> str:
+        return mapping.get(match.group(0), match.group(0))
+
+    return re.sub(r"[A-Za-z_][A-Za-z_0-9]*", sub, source)
+
+
+class TestAlphaInvariance:
+    @given(perm=st.permutations(FRESH))
+    @settings(max_examples=40, deadline=None)
+    def test_renamed_programs_hash_identically(self, perm):
+        mapping = dict(zip(JACOBI_NAMES, perm))
+        twin = parse_program(rename_source(JACOBI_SOURCE, mapping))
+        assert program_digest(twin) == program_digest(jacobi_program())
+
+    @given(perm=st.permutations(FRESH))
+    @settings(max_examples=20, deadline=None)
+    def test_rename_map_inverts_the_renaming(self, perm):
+        mapping = dict(zip(JACOBI_NAMES, perm))
+        twin = parse_program(rename_source(JACOBI_SOURCE, mapping))
+        base, twin_form = canonicalize(jacobi_program()), canonicalize(twin)
+        # Same canonical name on both sides of every declared pair.
+        for orig, new in mapping.items():
+            if orig in ("k", "i", "j"):
+                continue  # loop indices are not part of the rename map
+            assert twin_form.rename[new] == base.rename[orig]
+
+    @given(
+        data=st.lists(
+            st.sampled_from(["  ", "\t", " ", "   "]), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_whitespace_permutations_hash_identically(self, data):
+        source = JACOBI_SOURCE
+        for idx, pad in enumerate(data):
+            source = source.replace(" = ", f" ={pad}", idx % 2)
+            source = source.replace("  DO", f"{pad}DO", (idx + 1) % 2)
+        assert program_digest(parse_program(source)) == program_digest(
+            jacobi_program()
+        )
+
+    def test_declaration_reorder_hashes_identically(self):
+        reordered = JACOBI_SOURCE.replace(
+            "PARAM m, maxiter", "PARAM maxiter, m"
+        ).replace(
+            "ARRAY A(m, m), V(m), B(m), X(m)", "ARRAY X(m), B(m), A(m, m), V(m)"
+        )
+        assert program_digest(parse_program(reordered)) == program_digest(
+            jacobi_program()
+        )
+
+    def test_commutative_operand_swap_hashes_identically(self):
+        swapped = JACOBI_SOURCE.replace(
+            "V(i) = V(i) + A(i, j) * X(j)", "V(i) = X(j) * A(i, j) + V(i)"
+        )
+        assert swapped != JACOBI_SOURCE
+        assert program_digest(parse_program(swapped)) == program_digest(
+            jacobi_program()
+        )
+
+    def test_noncommutative_swap_hashes_apart(self):
+        swapped = JACOBI_SOURCE.replace(
+            "X(i) = X(i) + (B(i) - V(i)) / A(i, i)",
+            "X(i) = X(i) + (V(i) - B(i)) / A(i, i)",
+        )
+        assert swapped != JACOBI_SOURCE
+        assert program_digest(parse_program(swapped)) != program_digest(
+            jacobi_program()
+        )
+
+
+class TestDistinctness:
+    def test_distinct_programs_hash_apart(self):
+        digests = {
+            program_digest(p())
+            for p in (jacobi_program, sor_program, gauss_program, matmul_program)
+        }
+        assert len(digests) == 4
+
+    def test_structural_tweak_hashes_apart(self):
+        tweaked = JACOBI_SOURCE.replace("DO j = 1, m", "DO j = 2, m")
+        assert program_digest(parse_program(tweaked)) != program_digest(
+            jacobi_program()
+        )
+
+    def test_strategy_is_part_of_the_key(self):
+        p = sor_program()
+        assert program_digest(p) != program_digest(p, "ring-pipeline")
+
+    def test_sor_is_not_jacobi(self):
+        # SOR's sweep carries a dependence Jacobi's does not; their
+        # canonical forms must differ even though the arrays align.
+        assert program_digest(parse_program(SOR_SOURCE)) != program_digest(
+            jacobi_program()
+        )
+
+
+class TestSolveDigest:
+    ENV = {"m": 64, "maxiter": 1}
+
+    def digest(self, **kw):
+        args = dict(
+            program=jacobi_program(), nprocs=8, env=self.ENV, model=MODEL
+        )
+        args.update(kw)
+        return solve_digest(**args)
+
+    def test_machine_params_fold_into_solve_key(self):
+        base = self.digest()
+        assert base != self.digest(model=MachineModel(tf=1, tc=20))
+        assert base != self.digest(model=MachineModel(tf=2, tc=10))
+        assert base != self.digest(model=MachineModel(tf=1, tc=10, alpha=5))
+        assert base != self.digest(model=MachineModel(tf=1, tc=10, overlap=True))
+
+    def test_nprocs_and_env_fold_into_solve_key(self):
+        base = self.digest()
+        assert base != self.digest(nprocs=16)
+        assert base != self.digest(env={"m": 128, "maxiter": 1})
+
+    def test_program_digest_ignores_machine(self):
+        p = jacobi_program()
+        assert program_digest(p) == program_digest(p)  # and no machine arg exists
+
+    def test_env_keys_translate_through_rename(self):
+        mapping = dict(zip(JACOBI_NAMES, FRESH))
+        twin = parse_program(rename_source(JACOBI_SOURCE, mapping))
+        twin_env = {mapping["m"]: 64, mapping["maxiter"]: 1}
+        assert solve_digest(twin, 8, twin_env, MODEL) == self.digest()
+
+    def test_execute_flag_folds_into_solve_key(self):
+        assert self.digest() != self.digest(execute=True)
+
+
+class TestCanonicalFormShape:
+    def test_rename_covers_all_declarations(self):
+        for maker in (jacobi_program, sor_program, gauss_program, matmul_program):
+            p = maker()
+            form = canonicalize(p)
+            declared = set(p.params) | set(p.scalars) | set(p.arrays)
+            assert declared <= set(form.rename)
+
+    def test_directives_and_alignments_perturb_the_digest(self):
+        base = parse_program(JACOBI_SOURCE)
+        with_directive = parse_program(
+            JACOBI_SOURCE.replace(
+                "ARRAY A(m, m), V(m), B(m), X(m)",
+                "ARRAY A(m, m), V(m), B(m), X(m)\nDISTRIBUTE A(BLOCK, *)",
+            )
+        )
+        assert program_digest(base) != program_digest(with_directive)
+
+    def test_digest_is_hex_sha256(self):
+        digest = program_digest(jacobi_program())
+        assert re.fullmatch(r"[0-9a-f]{64}", digest)

@@ -33,5 +33,6 @@ def test_tutorial_snippets_execute():
         except Exception as exc:  # pragma: no cover - failure formatting
             pytest.fail(f"tutorial block {idx + 1} failed: {exc}\n---\n{block}")
     # The walkthrough defined the headline objects.
-    assert "plan" in namespace and namespace["plan"].cost > 0
+    assert "plan" in namespace and namespace["outcome"].cost > 0
     assert "res" in namespace
+    assert namespace["session"].stats.hits >= 2  # twin + py_twin both hit

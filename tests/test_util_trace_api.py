@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 import repro
+import repro.api
 from repro.machine import MachineModel, Ring, run_spmd
 from repro.machine.trace import TraceEvent, busy_time, comm_time, gantt, trace_table
 from repro.util.fmt import eng, fixed, ratio
@@ -109,14 +110,14 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_compile_and_run_jacobi(self):
-        res = repro.compile_and_run(
+        res = repro.api.compile_and_run(
             repro.jacobi_program(), nprocs=4, env={"m": 16, "maxiter": 8}
         )
         assert res.makespan > 0
         assert len(res.values[0]) == 16
 
     def test_compile_and_run_sor(self):
-        res = repro.compile_and_run(
+        res = repro.api.compile_and_run(
             repro.sor_program(), nprocs=4, env={"m": 16, "maxiter": 4}
         )
         assert res.makespan > 0
@@ -125,13 +126,13 @@ class TestPublicApi:
         from repro.kernels import make_spd_system
 
         A, b, x_true = make_spd_system(16, seed=0)
-        res = repro.compile_and_run(
+        res = repro.api.compile_and_run(
             repro.gauss_program(), nprocs=4, env={"m": 16}, inputs={"A": A, "B": b}
         )
         np.testing.assert_allclose(res.value(0), x_true, atol=1e-8)
 
     def test_compile_and_run_matmul_uses_cannon(self):
-        res = repro.compile_and_run(repro.matmul_program(), nprocs=4, env={"n": 12})
+        res = repro.api.compile_and_run(repro.matmul_program(), nprocs=4, env={"n": 12})
         assert res.value(0).shape == (12, 12)
 
     def test_compile_and_run_unknown_inputs_error(self):
@@ -142,16 +143,16 @@ class TestPublicApi:
             "DO i = 2, m - 1\nU(i) = W(i - 1)\nEND DO\nEND\n"
         )
         with pytest.raises(repro.ReproError):
-            repro.compile_and_run(heat, nprocs=2, env={"m": 8})
+            repro.api.compile_and_run(heat, nprocs=2, env={"m": 8})
 
     def test_compile_and_run_custom_model(self):
-        fast = repro.compile_and_run(
+        fast = repro.api.compile_and_run(
             repro.jacobi_program(),
             nprocs=4,
             env={"m": 16, "maxiter": 4},
             model=MachineModel(tf=1, tc=1),
         )
-        slow = repro.compile_and_run(
+        slow = repro.api.compile_and_run(
             repro.jacobi_program(),
             nprocs=4,
             env={"m": 16, "maxiter": 4},
