@@ -134,9 +134,25 @@ class Session:
         Memory-tier LRU bound.
     cache_dir:
         Directory for the disk tier (required for ``cache="disk"``).
+    workers:
+        ``> 0`` runs codegen and Algorithm 1 solves on a supervised
+        pool of that many subprocesses (crashes are detected, workers
+        respawned, requests retried; on pool exhaustion the session
+        degrades to in-process compilation).  ``0`` (default) keeps
+        everything in-process.
+    deadline_s:
+        Service-wide per-request deadline — straggling pool workers
+        are killed and :class:`repro.errors.DeadlineExceededError`
+        raised; overridable per request via ``deadline_s=`` on
+        :meth:`compile`'s request.
+    queue_limit:
+        Bound on queued-but-unserved :meth:`submit` jobs; excess
+        submissions shed load with
+        :class:`repro.errors.ServiceOverloadedError`.
 
     A session is also a context manager; entering starts the job-queue
-    workers and exiting drains them.
+    workers and exiting drains them (and stops the process pool).
+    See docs/API.md §"Operating the service".
     """
 
     def __init__(
@@ -146,12 +162,18 @@ class Session:
         cache: str | PlanCache | None = "memory",
         cache_capacity: int = 256,
         cache_dir=None,
+        workers: int = 0,
+        deadline_s: float | None = None,
+        queue_limit: int | None = None,
     ) -> None:
         self.service = CompileService(
             machine=machine or MachineModel(),
             cache=cache,
             cache_capacity=cache_capacity,
             cache_dir=cache_dir,
+            workers=workers,
+            deadline_s=deadline_s,
+            queue_limit=queue_limit,
         )
 
     @property
@@ -178,12 +200,13 @@ class Session:
         env: dict[str, int] | None = None,
         execute: bool = False,
         label: str | None = None,
+        deadline_s: float | None = None,
     ) -> CompileResult:
         """Serve one :class:`CompileRequest` (or build one from the
         keyword arguments) through the cache."""
         return self.service.compile(
             source, guest=guest, strategy=strategy, nprocs=nprocs,
-            env=env, execute=execute, label=label,
+            env=env, execute=execute, label=label, deadline_s=deadline_s,
         )
 
     def compile_batch(

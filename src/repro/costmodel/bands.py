@@ -159,6 +159,21 @@ COMPILE_HIT_RATE = SlackBand(
     "means the canonical digest is unstable (X11)",
 )
 
+#: Compile service (X12): crash-drill wall time over crash-free wall
+#: time on the same corpus through the supervised worker pool.  Lower
+#: bound below 1.0 because both sides are wall-clock and the clean run
+#: can be the noisier one; the ceiling bounds the cost of detection +
+#: respawn backoff + retry for a handful of injected SIGKILLs — if a
+#: crash drill blows past 25x, supervision itself regressed (e.g. a
+#: respawn storm or an unbounded backoff).
+SERVICE_CRASH_OVERHEAD = SlackBand(
+    "service-crash-overhead",
+    0.5,
+    25.0,
+    "detect + capped-backoff respawn + retry for injected worker kills; "
+    "wall-clock on both sides (X12)",
+)
+
 BANDS: dict[str, SlackBand] = {
     band.name: band
     for band in (
@@ -172,6 +187,7 @@ BANDS: dict[str, SlackBand] = {
         GAUSS_PIPELINE_MAKESPAN,
         COMPILE_WARM_SPEEDUP,
         COMPILE_HIT_RATE,
+        SERVICE_CRASH_OVERHEAD,
     )
 }
 

@@ -120,6 +120,81 @@ class RetryExhaustedError(FaultError):
         self.attempts = attempts
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the compile-service layer."""
+
+
+class WorkerCrashedError(ServiceError):
+    """Raised when a supervised compile worker dies and the retry budget
+    is exhausted.
+
+    Carries the forensic tail the supervisor collected: the worker's
+    spawn ``argv``, the content digest of the last in-flight request,
+    the process exit status (negative = killed by that signal), and how
+    many attempts/respawns were burned before giving up.  With
+    ``degrade=True`` (the default) :class:`repro.service.CompileService`
+    catches this and falls back to in-process compilation — the error
+    only surfaces when degradation is disabled or the pool is driven
+    directly.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        pid: int | None,
+        exitcode: int | None,
+        argv: list[str],
+        request_digest: str,
+        attempts: int,
+        respawns: int,
+    ) -> None:
+        status = "unknown" if exitcode is None else str(exitcode)
+        super().__init__(
+            f"compile worker {worker} (pid {pid}) died with exit status "
+            f"{status} serving request {request_digest[:12]} "
+            f"({attempts} attempt(s), {respawns} respawn(s)); argv: {argv}"
+        )
+        self.worker = worker
+        self.pid = pid
+        self.exitcode = exitcode
+        self.argv = list(argv)
+        self.request_digest = request_digest
+        self.attempts = attempts
+        self.respawns = respawns
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the bounded admission queue sheds a new request.
+
+    The service refuses work instead of queueing without bound; callers
+    should back off and resubmit.  ``depth`` is the number of admitted,
+    unfinished jobs at rejection time and ``limit`` the configured bound.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"service overloaded: {depth} queued jobs >= admission limit "
+            f"{limit}; retry later or raise queue_limit"
+        )
+        self.depth = depth
+        self.limit = limit
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a compile request misses its deadline.
+
+    On the process-pool tier the straggling worker is killed and
+    respawned (the request is *cancelled*, not orphaned); on
+    :meth:`repro.service.compiler.CompileJob.wait` a still-pending job
+    is cancelled so no worker ever picks it up.
+    """
+
+    def __init__(self, what: str, deadline_s: float, detail: str = "") -> None:
+        tail = f" ({detail})" if detail else ""
+        super().__init__(f"{what} exceeded deadline of {deadline_s:g}s{tail}")
+        self.deadline_s = deadline_s
+
+
 class DistributionError(ReproError):
     """Raised for invalid distribution-function configurations."""
 

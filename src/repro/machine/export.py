@@ -160,6 +160,24 @@ def compiler_lane_events(spans, lane_name: str = "compiler") -> list[dict]:
     for s in spans:
         if not isinstance(s, dict):
             s = s.as_dict()
+        if s["end"] == s["start"]:
+            # Zero-duration markers (worker crashes, respawns, fallback
+            # to in-process compilation — see repro.service.supervisor)
+            # render as instant ticks on the compiler lane, mirroring
+            # the simulator's "fault" instants on the rank lanes.
+            events.append(
+                {
+                    "name": s["name"],
+                    "cat": "service-fault",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": s["start"] * TIME_SCALE,
+                    "pid": 0,
+                    "tid": COMPILER_TID,
+                    "args": {"clock": "wall"},
+                }
+            )
+            continue
         events.append(
             {
                 "name": s["name"],

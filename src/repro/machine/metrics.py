@@ -96,10 +96,16 @@ class Metrics:
     #: ``ack-delay``, ``retry``, ``timeout``, ``crash``, ``checkpoint``,
     #: ``restore``, ``restart`` (see docs/RESILIENCE.md).
     faults: dict[str, int] = field(init=False, default_factory=dict)
-    #: Compile-service counters (``cache_hits``, ``cache_misses``,
-    #: ``cache_evictions``, ``cache_disk_hits``, ``cache_puts``) stamped
-    #: by :meth:`repro.service.compiler.CompileResult.run` so a run's
-    #: snapshot records how its plan was served (docs/API.md).
+    #: Compile-service counters stamped by
+    #: :meth:`repro.service.compiler.CompileResult.run` so a run's
+    #: snapshot records how its plan was served (docs/API.md): cache
+    #: counters (``cache_hits``, ``cache_misses``, ``cache_evictions``,
+    #: ``cache_disk_hits``, ``cache_puts``, ``cache_corrupt``,
+    #: ``cache_disk_faults``) plus, when the service runs a supervised
+    #: process pool, its fault counters (``pool_dispatched``,
+    #: ``pool_crashes``, ``pool_respawns``, ``pool_retries``,
+    #: ``pool_deadline_kills``) and ``fallbacks`` — requests that
+    #: degraded to in-process compilation (docs/RESILIENCE.md).
     service: dict[str, int] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -19,7 +19,12 @@ alpha/tf/tc, N, env)``.  This package makes that purity pay:
   requests, ``compile_batch`` (alignment/DP sub-results shared across
   programs hashing to common sub-keys) and a job-queue runner that
   services requests from worker threads, each request wrapped in a
-  wall-clock span on the compiler Perfetto lane.
+  wall-clock span on the compiler Perfetto lane;
+* :mod:`repro.service.supervisor` — :class:`WorkerSupervisor`, the
+  supervised subprocess pool behind ``workers > 0``: crash detection,
+  capped-backoff respawn, bounded retries, per-request deadlines, and
+  deterministic chaos injection for the crash drills (see
+  docs/RESILIENCE.md).
 
 :mod:`repro.api` is a thin veneer over this package; see docs/API.md.
 """
@@ -32,6 +37,7 @@ from repro.service.compiler import (
     CompileResult,
     CompileService,
 )
+from repro.service.supervisor import WorkerSupervisor
 from repro.service.guests import (
     available_guests,
     get_guest,
@@ -68,4 +74,5 @@ __all__ = [
     "CompileRequest",
     "CompileResult",
     "CompileService",
+    "WorkerSupervisor",
 ]

@@ -1,4 +1,4 @@
-"""Two-tier content-addressed plan cache.
+"""Two-tier content-addressed plan cache with a crash-safe disk tier.
 
 :class:`PlanCache` maps a digest (:mod:`repro.service.normalize`) to a
 pickled compile artifact.  Values are stored *as pickle bytes* in both
@@ -11,9 +11,28 @@ path pays exactly one ``pickle.loads``.
   ``disk_dir`` (enabled by passing a directory); memory evictions spill
   to disk, disk hits are promoted back into memory.
 
+The disk tier is hardened for concurrent multi-process sharing and for
+crashes mid-write (ISSUE 8):
+
+* **atomic writes** — every entry is written to a same-directory temp
+  file, fsynced, then ``os.replace``d into place, so a crash mid-write
+  can never leave a torn entry under the content address;
+* **checksum trailers** — each file ends in a 32-byte sha256 of the
+  pickle payload, verified on every disk read; a mismatched, truncated
+  or unpicklable entry is **quarantined** (moved to
+  ``disk_dir/quarantine/``) and served as a miss, never as garbage;
+* **advisory file locking** — disk reads take a shared ``flock`` and
+  writes an exclusive one on ``disk_dir/.lock``, so any number of
+  services and supervised worker processes share one cache directory
+  without corruption (no-op where ``fcntl`` is unavailable);
+* **graceful degradation** — after ``disk_fault_limit`` *consecutive*
+  ``OSError`` faults the disk tier is disabled and the cache continues
+  memory-only (counted in ``CacheStats.disk_faults`` /
+  ``disk_disabled``, logged, never silently wrong).
+
 Counters live in :class:`CacheStats` — the compile-side twin of the
 simulator's :class:`repro.machine.metrics.Metrics` registry — and are
-surfaced by :attr:`repro.api.Session.stats` and the X11 benchmark
+surfaced by :attr:`repro.api.Session.stats` and the X11/X12 benchmark
 records.
 
 Keys embed :data:`repro.service.normalize.IR_SCHEMA`, so a schema bump
@@ -23,14 +42,29 @@ them from disk.
 
 from __future__ import annotations
 
+import hashlib
+import logging
+import os
 import pathlib
 import pickle
+import tempfile
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
+try:  # advisory locking is POSIX-only; the tier degrades to lockless
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+logger = logging.getLogger("repro.service")
+
 _MISS = object()
+
+#: Bytes of the sha256 trailer appended to every disk entry.
+_TRAILER = hashlib.sha256().digest_size
 
 
 @dataclass
@@ -42,6 +76,12 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     puts: int = 0
+    #: Disk entries that failed the checksum/unpickle check and were
+    #: quarantined (each served as a miss — the drift oracle and the
+    #: X12 bench watch this).
+    corrupt: int = 0
+    #: OSError faults in the disk tier (reads and writes).
+    disk_faults: int = 0
 
     @property
     def lookups(self) -> int:
@@ -61,8 +101,43 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "puts": self.puts,
+            "corrupt": self.corrupt,
+            "disk_faults": self.disk_faults,
             "hit_rate": self.hit_rate,
         }
+
+
+def _seal(blob: bytes) -> bytes:
+    """Append the sha256 trailer the disk tier verifies on every read."""
+    return blob + hashlib.sha256(blob).digest()
+
+
+def _unseal(data: bytes) -> bytes | None:
+    """Strip and verify the trailer; ``None`` marks a corrupt entry."""
+    if len(data) <= _TRAILER:
+        return None
+    blob, trailer = data[:-_TRAILER], data[-_TRAILER:]
+    if hashlib.sha256(blob).digest() != trailer:
+        return None
+    return blob
+
+
+def _write_atomic(path: pathlib.Path, data: bytes) -> None:
+    """Same-directory temp file + fsync + ``os.replace``: readers see
+    either the old entry or the complete new one, never a torn write."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.stem}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -71,6 +146,9 @@ class PlanCache:
 
     capacity: int = 256
     disk_dir: pathlib.Path | None = None
+    #: Consecutive disk OSErrors tolerated before the disk tier is
+    #: disabled and the cache degrades to memory-only.
+    disk_fault_limit: int = 3
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -80,13 +158,108 @@ class PlanCache:
             self.disk_dir = pathlib.Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._mem: OrderedDict[str, bytes] = OrderedDict()
+        self._disk_disabled = False
+        self._consecutive_faults = 0
 
-    # -- tiers ----------------------------------------------------------
-    def _disk_path(self, key: str) -> pathlib.Path | None:
+    # -- disk plumbing --------------------------------------------------
+    @property
+    def disk_disabled(self) -> bool:
+        """True once repeated disk faults degraded the cache to memory-only."""
+        return self._disk_disabled
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path | None:
         if self.disk_dir is None:
+            return None
+        return self.disk_dir / "quarantine"
+
+    def _disk_path(self, key: str) -> pathlib.Path | None:
+        if self.disk_dir is None or self._disk_disabled:
             return None
         return self.disk_dir / f"{key}.pkl"
 
+    @contextmanager
+    def _disk_lock(self, exclusive: bool):
+        """Advisory flock on ``disk_dir/.lock`` (no-op without fcntl)."""
+        if fcntl is None or self.disk_dir is None:
+            yield
+            return
+        try:
+            handle = open(self.disk_dir / ".lock", "a+b")
+        except OSError:
+            yield  # the op itself will hit (and count) the fault
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    def _disk_fault(self, what: str, exc: OSError) -> None:
+        self.stats.disk_faults += 1
+        self._consecutive_faults += 1
+        if self._consecutive_faults >= self.disk_fault_limit and not self._disk_disabled:
+            self._disk_disabled = True
+            logger.warning(
+                "plan cache disk tier disabled after %d consecutive faults "
+                "(last: %s during %s); continuing memory-only",
+                self._consecutive_faults, exc, what,
+            )
+        else:
+            logger.warning("plan cache disk %s fault: %s", what, exc)
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry aside so it is never served (or re-read)."""
+        self.stats.corrupt += 1
+        qdir = self.quarantine_dir
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, qdir / f"{path.name}.{os.getpid()}")
+        except OSError:
+            # Another process quarantined it first (or the dir is gone);
+            # either way the entry is no longer addressable — that is all
+            # quarantine has to guarantee.
+            pass
+        logger.warning("plan cache quarantined corrupt entry %s", path.name)
+
+    def _disk_read(self, key: str) -> bytes | None:
+        """Checksum-verified read; corrupt entries quarantine as misses."""
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with self._disk_lock(exclusive=False):
+                if not path.exists():
+                    return None
+                data = path.read_bytes()
+        except OSError as exc:
+            self._disk_fault("read", exc)
+            return None
+        self._consecutive_faults = 0
+        blob = _unseal(data)
+        if blob is None:
+            self._quarantine(path)
+            return None
+        return blob
+
+    def _disk_write(self, key: str, blob: bytes) -> None:
+        """Atomic, checksummed, write-once disk insert."""
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            with self._disk_lock(exclusive=True):
+                if not path.exists():
+                    _write_atomic(path, _seal(blob))
+        except OSError as exc:
+            self._disk_fault("write", exc)
+            return
+        self._consecutive_faults = 0
+
+    # -- tiers ----------------------------------------------------------
     def lookup(self, key: str) -> object:
         """The raw two-tier probe; returns the module-level miss sentinel."""
         blob = self._mem.get(key)
@@ -94,13 +267,23 @@ class PlanCache:
             self._mem.move_to_end(key)
             self.stats.hits += 1
             return pickle.loads(blob)
-        path = self._disk_path(key)
-        if path is not None and path.exists():
-            blob = path.read_bytes()
+        blob = self._disk_read(key)
+        if blob is not None:
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                # The checksum held but the payload predates the current
+                # pickle layout (or was poisoned before sealing) — same
+                # treatment: quarantine and recompile.
+                path = self._disk_path(key)
+                if path is not None:
+                    self._quarantine(path)
+                self.stats.misses += 1
+                return _MISS
             self._insert(key, blob)
             self.stats.hits += 1
             self.stats.disk_hits += 1
-            return pickle.loads(blob)
+            return value
         self.stats.misses += 1
         return _MISS
 
@@ -128,12 +311,8 @@ class PlanCache:
         while len(mem) > self.capacity:
             old_key, old_blob = mem.popitem(last=False)
             self.stats.evictions += 1
-            path = self._disk_path(old_key)
-            if path is not None and not path.exists():
-                path.write_bytes(old_blob)
-        path = self._disk_path(key)
-        if path is not None and not path.exists():
-            path.write_bytes(blob)
+            self._disk_write(old_key, old_blob)
+        self._disk_write(key, blob)
 
     # -- maintenance ----------------------------------------------------
     def __len__(self) -> int:
@@ -145,13 +324,22 @@ class PlanCache:
         self.stats = CacheStats()
 
     def prune(self) -> int:
-        """Delete every on-disk entry; returns the number removed."""
+        """Delete every on-disk entry (quarantined ones included);
+        returns the number of live entries removed."""
         if self.disk_dir is None:
             return 0
         removed = 0
-        for path in self.disk_dir.glob("*.pkl"):
-            path.unlink()
-            removed += 1
+        try:
+            with self._disk_lock(exclusive=True):
+                for path in self.disk_dir.glob("*.pkl"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                qdir = self.quarantine_dir
+                if qdir.is_dir():
+                    for path in qdir.iterdir():
+                        path.unlink(missing_ok=True)
+        except OSError as exc:
+            self._disk_fault("prune", exc)
         return removed
 
 

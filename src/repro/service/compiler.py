@@ -27,24 +27,49 @@ across *different* programs whose segments coincide (see
 The job-queue runner (``submit``/``start``/``close``) services requests
 from worker threads; every request — queued or direct — is wrapped in a
 ``service/request`` span on the compiler Perfetto lane.
+
+With ``workers > 0`` the expensive phases (codegen, the Algorithm 1
+solve) additionally run on a **supervised process pool**
+(:class:`repro.service.supervisor.WorkerSupervisor`): a worker crash is
+detected, respawned with capped backoff and the request retried; when
+the pool exhausts its budget the service *degrades* to in-process
+compilation (logged and counted in ``service_stats["fallbacks"]``,
+never silently wrong).  ``queue_limit`` bounds the admission queue
+(:class:`~repro.errors.ServiceOverloadedError` sheds excess load) and
+``deadline_s`` — per request or service-wide — cancels stragglers with
+:class:`~repro.errors.DeadlineExceededError` instead of orphaning them.
+See docs/API.md §"Operating the service".
 """
 
 from __future__ import annotations
 
 import contextvars
+import logging
 import queue
 import threading
 import time
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+    WorkerCrashedError,
+)
 from repro.lang.ast import Program
 from repro.machine.model import MachineModel
 from repro.service.cache import _MISS, CacheStats, PlanCache, make_cache
 from repro.service.guests import lower
 from repro.service.normalize import canonicalize, program_digest, solve_digest
 from repro.service.plan import Plan, SolveOutcome, compile_plan
+from repro.util import spans
 from repro.util.spans import span
+
+logger = logging.getLogger("repro.service")
+
+#: Internal sentinel: the pool crashed out and the caller should run
+#: the task in-process (graceful degradation).
+_FALLBACK = object()
 
 
 @dataclass(frozen=True)
@@ -55,7 +80,9 @@ class CompileRequest:
     :class:`Program`, a decorated function, a JSON document).  With
     *nprocs* and *env* the request also asks for Algorithm 1's
     distribution (``wants_solve``); *execute* additionally validates the
-    chosen redistributions on the simulator.
+    chosen redistributions on the simulator.  ``deadline_s`` bounds the
+    request's time on the process-pool tier (straggling workers are
+    killed, not orphaned); it overrides the service-wide default.
     """
 
     source: object
@@ -65,6 +92,7 @@ class CompileRequest:
     env: dict[str, int] | None = None
     execute: bool = False
     label: str | None = None
+    deadline_s: float | None = None
 
     @property
     def wants_solve(self) -> bool:
@@ -91,8 +119,14 @@ class CompileResult:
     solve_key: str | None = None
     solve_cached: bool = False
     wall_seconds: float = 0.0
-    #: Integer cache counters snapshotted at serve time (``hits``,
-    #: ``misses``, ``evictions``, ``disk_hits``, ``puts``); stamped into
+    #: Integer service counters snapshotted at serve time — cache
+    #: counters (``cache_hits``, ``cache_misses``, ``cache_evictions``,
+    #: ``cache_disk_hits``, ``cache_puts``, ``cache_corrupt``,
+    #: ``cache_disk_faults``) plus, when a process pool is active, the
+    #: supervisor's fault counters (``pool_dispatched``,
+    #: ``pool_crashes``, ``pool_respawns``, ``pool_retries``,
+    #: ``pool_deadline_kills``) and ``fallbacks`` (requests that
+    #: degraded to in-process compilation).  Stamped into
     #: ``RunResult.metrics.service`` by :meth:`run`.
     service_stats: dict = field(default_factory=dict)
 
@@ -152,7 +186,7 @@ class CompileResult:
                 {
                     "cache_hit": int(self.cached),
                     "solve_cache_hit": int(self.solve_cached),
-                    **{f"cache_{k}": int(v) for k, v in self.service_stats.items()},
+                    **{k: int(v) for k, v in self.service_stats.items()},
                 }
             )
         return result
@@ -200,15 +234,33 @@ class CompileResult:
 
 
 class CompileJob:
-    """Handle for a queued request; ``wait()`` blocks for the result."""
+    """Handle for a queued request; ``wait()`` blocks for the result.
+
+    A job is *pending* until a worker claims it, then *running*, then
+    *done* (result or error).  A pending job can be :meth:`cancel`\\led
+    — workers skip cancelled jobs, so a timed-out ``wait`` leaves
+    nothing orphaned in the queue.
+    """
 
     def __init__(self, request: CompileRequest) -> None:
         self.request = request
         self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._state = "pending"
         self._result: CompileResult | None = None
         self._error: BaseException | None = None
 
+    def _claim(self) -> bool:
+        """Worker-side: move pending -> running; False if cancelled."""
+        with self._lock:
+            if self._state != "pending":
+                return False
+            self._state = "running"
+            return True
+
     def _finish(self, result: CompileResult | None, error: BaseException | None) -> None:
+        with self._lock:
+            self._state = "done"
         self._result = result
         self._error = error
         self._event.set()
@@ -217,11 +269,44 @@ class CompileJob:
     def done(self) -> bool:
         return self._event.is_set()
 
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._state == "cancelled"
+
+    def cancel(self) -> bool:
+        """Cancel the job if no worker has claimed it yet.
+
+        Returns True when the job was still pending (it will never run;
+        waiters get a :class:`DeadlineExceededError`).  A running or
+        finished job returns False — the thread tier cannot preempt.
+        """
+        with self._lock:
+            if self._state != "pending":
+                return False
+            self._state = "cancelled"
+        self._error = DeadlineExceededError(
+            f"compile job {self.request.label or self.request.guest!r}",
+            self.request.deadline_s or 0.0,
+            "cancelled before a worker claimed it",
+        )
+        self._event.set()
+        return True
+
     def wait(self, timeout: float | None = None) -> CompileResult:
+        """Block for the result; on timeout the job is cancelled if
+        still pending (cleanly — never orphaned in the queue)."""
         if not self._event.wait(timeout):
-            raise ReproError(
-                f"compile job {self.request.label or self.request.guest!r} "
-                f"timed out after {timeout}s"
+            cancelled = self.cancel()
+            detail = (
+                "cancelled before a worker claimed it"
+                if cancelled
+                else "already running; its result will be discarded"
+            )
+            raise DeadlineExceededError(
+                f"compile job {self.request.label or self.request.guest!r}",
+                timeout if timeout is not None else 0.0,
+                detail,
             )
         if self._error is not None:
             raise self._error
@@ -235,12 +320,30 @@ class CompileService:
 
     *cache* is a mode string (``"off"``/``"memory"``/``"disk"``) or an
     already-built :class:`PlanCache` to share between services.
+
+    *workers* > 0 adds the supervised process-pool tier (codegen and
+    solves run in subprocesses; crashes are retried and respawned);
+    *queue_limit* bounds the ``submit`` admission queue; *deadline_s*
+    is the service-wide per-request deadline (overridable per request);
+    *degrade* controls whether pool failure falls back to in-process
+    compilation (the default) or surfaces
+    :class:`~repro.errors.WorkerCrashedError`.  The ``worker_*`` knobs
+    and *chaos_kill_requests* pass through to
+    :class:`~repro.service.supervisor.WorkerSupervisor`.
     """
 
     machine: MachineModel = field(default_factory=MachineModel)
     cache: PlanCache | str | None = "memory"
     cache_capacity: int = 256
     cache_dir: object = None
+    workers: int = 0
+    queue_limit: int | None = None
+    deadline_s: float | None = None
+    degrade: bool = True
+    worker_retry_budget: int = 2
+    worker_max_respawns: int = 3
+    worker_backoff_s: float = 0.05
+    chaos_kill_requests: tuple = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.cache, str):
@@ -251,6 +354,83 @@ class CompileService:
         self._queue: queue.Queue = queue.Queue()
         self._workers: list[threading.Thread] = []
         self._closed = False
+        self._pool_lock = threading.Lock()
+        self._supervisor = None
+        self._fallbacks = 0
+        self._pending = 0
+
+    # -- the process-pool tier -------------------------------------------
+    def _pool(self):
+        """The lazily-spawned :class:`WorkerSupervisor` (None when
+        ``workers=0`` or the service is closed)."""
+        if not self.workers or self._closed:
+            return None
+        with self._pool_lock:
+            if self._supervisor is None:
+                from repro.service.supervisor import WorkerSupervisor
+
+                self._supervisor = WorkerSupervisor(
+                    self.workers,
+                    self.machine,
+                    retry_budget=self.worker_retry_budget,
+                    max_respawns=self.worker_max_respawns,
+                    backoff_s=self.worker_backoff_s,
+                    chaos_kill_requests=self.chaos_kill_requests,
+                )
+            return self._supervisor
+
+    def _pool_call(self, pool, task: dict, deadline_s: float | None):
+        """One supervised dispatch; crashes degrade to :data:`_FALLBACK`
+        (unless ``degrade=False``), deadline misses always propagate."""
+        try:
+            return pool.call(task, deadline_s=deadline_s)
+        except WorkerCrashedError as exc:
+            if not self.degrade:
+                raise
+            with self._lock:
+                self._fallbacks += 1
+            spans.instant("service/fallback")
+            logger.warning(
+                "process pool unavailable (%s); compiling in-process", exc
+            )
+            return _FALLBACK
+
+    def _compile_generated(self, program, strategy, deadline_s):
+        """Codegen on the pool tier, in-process otherwise (or on fallback)."""
+        pool = self._pool()
+        if pool is not None:
+            result = self._pool_call(
+                pool,
+                {"kind": "compile", "program": program, "strategy": strategy},
+                deadline_s,
+            )
+            if result is not _FALLBACK:
+                return result["generated"]
+        return compile_plan(program, strategy=strategy).generated
+
+    def _solve_plan(self, plan, req, env_stored, segment_memo, deadline_s):
+        """Algorithm 1 on the pool tier (segment memos stay per-worker
+        there), in-process otherwise (or on fallback)."""
+        pool = self._pool()
+        if pool is not None:
+            result = self._pool_call(
+                pool,
+                {
+                    "kind": "solve",
+                    "program": plan.program,
+                    "generated": plan.generated,
+                    "nprocs": req.nprocs,
+                    "env": env_stored,
+                    "execute": req.execute,
+                },
+                deadline_s,
+            )
+            if result is not _FALLBACK:
+                return result
+        return plan.solve(
+            req.nprocs, env_stored, model=self.machine,
+            execute=req.execute, segment_memo=segment_memo,
+        )
 
     # -- cache plumbing --------------------------------------------------
     @property
@@ -288,6 +468,7 @@ class CompileService:
         env: dict[str, int] | None = None,
         execute: bool = False,
         label: str | None = None,
+        deadline_s: float | None = None,
     ) -> CompileResult:
         """Serve one request (coalescing keyword args into one if
         *source* is not already a :class:`CompileRequest`)."""
@@ -297,6 +478,7 @@ class CompileService:
             req = CompileRequest(
                 source=source, guest=guest, strategy=strategy,
                 nprocs=nprocs, env=env, execute=execute, label=label,
+                deadline_s=deadline_s,
             )
         return self._serve(req, self.cache, None)
 
@@ -331,6 +513,20 @@ class CompileService:
         with span("service/batch"):
             return [self._serve(req, cache, segment_memo) for req in requests]
 
+    def _remaining(self, deadline_at: float | None, req: CompileRequest) -> float | None:
+        """Seconds left on the request's deadline (None = unbounded);
+        raises once the budget is already spent."""
+        if deadline_at is None:
+            return None
+        left = deadline_at - time.monotonic()
+        if left <= 0:
+            raise DeadlineExceededError(
+                f"compile request {req.label or req.guest!r}",
+                req.deadline_s if req.deadline_s is not None else (self.deadline_s or 0.0),
+                "deadline expired between service stages",
+            )
+        return left
+
     def _serve(
         self,
         req: CompileRequest,
@@ -338,6 +534,8 @@ class CompileService:
         segment_memo: dict | None,
     ) -> CompileResult:
         t0 = time.perf_counter()
+        deadline_s = req.deadline_s if req.deadline_s is not None else self.deadline_s
+        deadline_at = None if deadline_s is None else time.monotonic() + deadline_s
         with span("service/request"):
             program = lower(req.source, req.guest)
             form = canonicalize(program)
@@ -345,7 +543,10 @@ class CompileService:
 
             entry = self._cache_lookup(cache, plan_key)
             if entry is _MISS:
-                plan = compile_plan(program, strategy=req.strategy)
+                generated = self._compile_generated(
+                    program, req.strategy, self._remaining(deadline_at, req)
+                )
+                plan = Plan(program=program, generated=generated)
                 rename = {name: name for name in form.rename}
                 self._cache_put(
                     cache, plan_key,
@@ -375,9 +576,9 @@ class CompileService:
                 hit = self._cache_lookup(cache, solve_key)
                 if hit is _MISS:
                     env_stored = {rename.get(k, k): v for k, v in req.env.items()}
-                    outcome = plan.solve(
-                        req.nprocs, env_stored, model=self.machine,
-                        execute=req.execute, segment_memo=segment_memo,
+                    outcome = self._solve_plan(
+                        plan, req, env_stored, segment_memo,
+                        self._remaining(deadline_at, req),
                     )
                     self._cache_put(cache, solve_key, outcome)
                 else:
@@ -385,6 +586,19 @@ class CompileService:
                     solve_cached = True
 
         stats = cache.stats if cache is not None else None
+        service_stats: dict = (
+            {f"cache_{k}": v for k, v in stats.as_dict().items() if k != "hit_rate"}
+            if stats is not None
+            else {}
+        )
+        with self._pool_lock:
+            supervisor = self._supervisor
+        if supervisor is not None:
+            service_stats.update(
+                {f"pool_{k}": v for k, v in supervisor.stats().items()}
+            )
+        if self.workers:
+            service_stats["fallbacks"] = self._fallbacks
         return CompileResult(
             request=req,
             digest=plan_key,
@@ -395,15 +609,7 @@ class CompileService:
             solve_key=solve_key,
             solve_cached=solve_cached,
             wall_seconds=time.perf_counter() - t0,
-            service_stats={
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "evictions": stats.evictions,
-                "disk_hits": stats.disk_hits,
-                "puts": stats.puts,
-            }
-            if stats is not None
-            else {},
+            service_stats=service_stats,
         )
 
     # -- job queue -------------------------------------------------------
@@ -416,6 +622,10 @@ class CompileService:
         if self._closed:
             raise ReproError("service is closed")
         job = CompileJob(self.request(source, **kwargs))
+        with self._lock:
+            if self.queue_limit is not None and self._pending >= self.queue_limit:
+                raise ServiceOverloadedError(self._pending, self.queue_limit)
+            self._pending += 1
         self._queue.put(job)
         return job
 
@@ -444,14 +654,20 @@ class CompileService:
                 self._queue.task_done()
                 return
             try:
-                job._finish(self._serve(job.request, self.cache, None), None)
-            except BaseException as exc:  # delivered via job.wait()
-                job._finish(None, exc)
+                if not job._claim():  # cancelled while queued
+                    continue
+                try:
+                    job._finish(self._serve(job.request, self.cache, None), None)
+                except BaseException as exc:  # delivered via job.wait()
+                    job._finish(None, exc)
             finally:
+                with self._lock:
+                    self._pending -= 1
                 self._queue.task_done()
 
     def close(self) -> None:
-        """Stop the workers after the queue drains (idempotent)."""
+        """Stop the workers (and the process pool) after the queue
+        drains (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -460,6 +676,10 @@ class CompileService:
         for thread in self._workers:
             thread.join()
         self._workers.clear()
+        with self._pool_lock:
+            supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.close()
 
     def __enter__(self) -> "CompileService":
         if not self._workers:

@@ -73,6 +73,16 @@ class SpanRecorder:
             end = time.perf_counter() - self._epoch
             self.spans.append(Span(name, start, end, depth))
 
+    def instant(self, name: str) -> None:
+        """Record a zero-duration marker (crash, respawn, fallback, ...).
+
+        Instants render as thread-scoped instant events on the compiler
+        Perfetto lane (:func:`repro.machine.export.compiler_lane_events`)
+        — the wall-clock twin of the simulator's ``fault`` markers.
+        """
+        t = time.perf_counter() - self._epoch
+        self.spans.append(Span(name, t, t, self._depth))
+
     # -- views -----------------------------------------------------------
     def sorted_spans(self) -> list[Span]:
         """Spans in start order (they are appended in *end* order)."""
@@ -123,6 +133,13 @@ def span(name: str):
         return
     with rec.span(name):
         yield
+
+
+def instant(name: str) -> None:
+    """Record a zero-duration marker if a recorder is installed."""
+    rec = _current.get()
+    if rec is not None:
+        rec.instant(name)
 
 
 def spanned(name: str):

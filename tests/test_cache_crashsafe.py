@@ -1,0 +1,242 @@
+"""Crash-safety of the PlanCache disk tier (ISSUE 8).
+
+* writes are atomic (tmp + ``os.replace``): no ``.tmp`` droppings, and
+  a reader never sees a torn entry;
+* corrupt, truncated or bit-flipped entries fail the sha256 trailer
+  check, are quarantined to ``disk_dir/quarantine/`` and served as
+  misses (counted in ``CacheStats.corrupt``) — then recompiled
+  identically;
+* repeated disk ``OSError`` faults degrade the cache to memory-only
+  (``disk_disabled``) instead of failing requests;
+* N processes hammering one cache directory with mixed
+  put/lookup/prune traffic never observe a torn value (the
+  multiprocessing stress drill).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.lang import jacobi_program
+from repro.machine.model import MachineModel
+from repro.service import CompileService, PlanCache
+from repro.service import cache as cache_mod
+
+MODEL = MachineModel(tf=1, tc=10)
+
+
+def entry_path(cache: PlanCache, key: str):
+    return cache.disk_dir / f"{key}.pkl"
+
+
+class TestAtomicWrites:
+    def test_no_temp_droppings_after_writes(self, tmp_path):
+        cache = PlanCache(capacity=2, disk_dir=tmp_path)
+        for n in range(8):  # spills through the eviction path too
+            cache.put(f"k{n}", {"value": n})
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert cache.get("k0") == {"value": 0}  # spilled entry readable
+
+    def test_interrupted_write_leaves_old_entry_intact(self, tmp_path, monkeypatch):
+        cache = PlanCache(capacity=1, disk_dir=tmp_path)
+        cache.put("a", "old")
+        cache.put("b", "spill-a-to-disk")  # a -> disk
+        assert cache.get("a") == "old"
+
+        # crash mid-write: os.replace never happens (and not being an
+        # OSError, the crash propagates rather than counting as a fault)
+        class Crash(BaseException):
+            pass
+
+        def boom(path, data):
+            raise Crash
+
+        monkeypatch.setattr(cache_mod, "_write_atomic", boom)
+        with pytest.raises(Crash):
+            cache.put("c", "evicts")  # spill path hits the crash...
+        monkeypatch.undo()
+        assert cache.get("a") == "old"  # ...but the old entry survived
+
+    def test_checksum_trailer_roundtrip(self):
+        blob = pickle.dumps({"x": 1})
+        sealed = cache_mod._seal(blob)
+        assert cache_mod._unseal(sealed) == blob
+        assert cache_mod._unseal(sealed[:-1]) is None  # truncated
+        assert cache_mod._unseal(b"") is None
+        flipped = bytearray(sealed)
+        flipped[0] ^= 0xFF
+        assert cache_mod._unseal(bytes(flipped)) is None
+
+
+class TestCorruptEntries:
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda data: data[: len(data) // 2],  # truncated
+            lambda data: b"garbage",  # replaced
+            lambda data: bytes([data[0] ^ 0xFF]) + data[1:],  # bit flip
+            lambda data: b"",  # emptied
+        ],
+        ids=["truncated", "garbage", "bitflip", "empty"],
+    )
+    def test_corrupt_entry_is_quarantined_miss(self, tmp_path, mangle):
+        cache = PlanCache(capacity=4, disk_dir=tmp_path)
+        cache.put("key", {"payload": 123})
+        path = entry_path(cache, "key")
+        path.write_bytes(mangle(path.read_bytes()))
+
+        fresh = PlanCache(capacity=4, disk_dir=tmp_path)  # cold memory tier
+        assert fresh.get("key") is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert not path.exists()  # moved aside, not re-read forever
+        assert list(fresh.quarantine_dir.iterdir())
+
+    def test_unpicklable_entry_behind_valid_checksum(self, tmp_path):
+        cache = PlanCache(capacity=4, disk_dir=tmp_path)
+        path = entry_path(cache, "key")
+        cache_mod._write_atomic(path, cache_mod._seal(b"not a pickle"))
+        assert cache.get("key") is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_corrupt_plan_recompiles_identically(self, tmp_path):
+        """ISSUE 8 drill: corrupt a disk entry, recompile, bit-identity."""
+        env = {"m": 32, "maxiter": 2}
+        svc = CompileService(machine=MODEL, cache="disk", cache_dir=tmp_path)
+        ref = svc.compile(jacobi_program(), nprocs=4, env=env)
+        ref_bytes = pickle.dumps(ref.plan.generated)
+
+        path = entry_path(svc.cache, ref.digest)
+        assert path.exists()
+        path.write_bytes(b"\x00" * 40)  # corrupt the codegen artifact
+
+        again = CompileService(machine=MODEL, cache="disk", cache_dir=tmp_path)
+        res = again.compile(jacobi_program(), nprocs=4, env=env)
+        assert not res.cached  # served as a miss, not as garbage
+        assert pickle.dumps(res.plan.generated) == ref_bytes
+        assert again.stats.corrupt == 1
+        assert res.service_stats["cache_corrupt"] == 1
+
+    def test_prune_clears_quarantine_too(self, tmp_path):
+        cache = PlanCache(capacity=4, disk_dir=tmp_path)
+        cache.put("key", "value")
+        entry_path(cache, "key").write_bytes(b"junk")
+        PlanCache(capacity=4, disk_dir=tmp_path).get("key")  # quarantines
+        assert list(cache.quarantine_dir.iterdir())
+        cache.prune()
+        assert not list(cache.quarantine_dir.iterdir())
+
+
+class TestDiskFaultDegradation:
+    def test_repeated_faults_degrade_to_memory_only(self, tmp_path, monkeypatch):
+        cache = PlanCache(capacity=2, disk_dir=tmp_path, disk_fault_limit=3)
+
+        def boom(path, data):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_mod, "_write_atomic", boom)
+        for n in range(6):
+            cache.put(f"k{n}", n)  # spill writes keep faulting
+        assert cache.disk_disabled
+        assert cache.stats.disk_faults >= 3
+        # the cache still works, memory-only
+        cache.put("live", "value")
+        assert cache.get("live") == "value"
+        monkeypatch.undo()
+        # disabled stays disabled: no more disk traffic
+        cache.put("later", "value")
+        assert not entry_path(cache, "later").exists()
+
+    def test_one_transient_fault_does_not_degrade(self, tmp_path, monkeypatch):
+        cache = PlanCache(capacity=1, disk_dir=tmp_path, disk_fault_limit=3)
+        real = cache_mod._write_atomic
+        calls = {"n": 0}
+
+        def flaky(path, data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError(5, "transient")
+            real(path, data)
+
+        monkeypatch.setattr(cache_mod, "_write_atomic", flaky)
+        cache.put("a", 1)
+        cache.put("b", 2)  # spills "a"; first write faulted, later ones land
+        assert not cache.disk_disabled
+        assert cache.stats.disk_faults == 1
+        assert PlanCache(capacity=1, disk_dir=tmp_path).get("b") == 2
+
+
+def _hammer(disk_dir, proc: int, rounds: int, failures):
+    """One stress process: mixed put/lookup/prune on a shared dir."""
+    try:
+        cache = PlanCache(capacity=4, disk_dir=disk_dir)
+        for n in range(rounds):
+            key = f"key{(proc + n) % 8}"
+            value = cache.get(key)
+            if value is not None and value != {"owner": key}:
+                failures.put(f"proc {proc}: torn read {key} -> {value!r}")
+                return
+            cache.put(key, {"owner": key})
+            if n % 17 == 0:
+                cache.clear()  # drop the memory tier, force disk reads
+            if proc == 0 and n % 23 == 22:
+                cache.prune()
+    except BaseException as exc:  # pragma: no cover - failure path
+        failures.put(f"proc {proc}: {exc!r}")
+
+
+class TestMultiprocessSharing:
+    def test_n_processes_share_one_cache_dir(self, tmp_path):
+        """The ISSUE 8 stress drill: concurrent services on one disk
+        cache never see torn or cross-keyed values."""
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        failures = ctx.Queue()
+        procs = [
+            ctx.Process(target=_hammer, args=(tmp_path, p, 50, failures))
+            for p in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert failures.empty(), failures.get()
+        # whatever survived the prunes must still unseal cleanly
+        survivor = PlanCache(capacity=4, disk_dir=tmp_path)
+        for path in tmp_path.glob("*.pkl"):
+            key = path.stem
+            value = survivor.get(key)
+            assert value is None or value == {"owner": key}
+        assert survivor.stats.corrupt == 0
+
+    def test_two_services_share_plans_across_processes(self, tmp_path):
+        env = {"m": 32, "maxiter": 2}
+        first = CompileService(machine=MODEL, cache="disk", cache_dir=tmp_path)
+        ref = first.compile(jacobi_program(), nprocs=4, env=env)
+        assert not ref.cached
+
+        def other(out):
+            svc = CompileService(machine=MODEL, cache="disk", cache_dir=tmp_path)
+            res = svc.compile(jacobi_program(), nprocs=4, env=env)
+            out.put((res.cached, pickle.dumps(res.plan.generated)))
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        out = ctx.Queue()
+        proc = ctx.Process(target=other, args=(out,))
+        proc.start()
+        cached, blob = out.get(timeout=60)
+        proc.join(timeout=60)
+        assert cached  # the second process hit the first one's entry
+        assert blob == pickle.dumps(ref.plan.generated)
