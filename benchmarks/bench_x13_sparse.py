@@ -1,0 +1,219 @@
+"""X13 — sparse inspector/executor: words reconciliation + amortization.
+
+Three claims, all on one 128x128 random SPD system over 8 ranks:
+
+* **sparse-redist-words** — the executor's measured ``sparse-gather``
+  scope words equal the schedule's analytic gather volume exactly, for
+  both iterated SpMV and sparse CG (the model and the executor share
+  the schedule as their single source of truth);
+* **inspector-amortization** — the naive strawman that re-runs the
+  inspector exchange before every sweep is measurably slower than
+  inspect-once + replay, and the gap grows with the iteration count;
+* **plan-cache warm path** — a repeated sparsity pattern is served its
+  ``CommSchedule`` from a warm :class:`~repro.service.cache.PlanCache`
+  without re-running the inspector (zero ``sparse-inspect`` words on
+  the machine, zero builds in the metrics group).
+
+Everything here is simulated time, so every recorded number is
+deterministic and baseline-gated bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.bands import get_band
+from repro.costmodel.sparse import amortization_ratio, sparse_gather_words
+from repro.distribution.sparse import SparsePlacement
+from repro.kernels.sparse_cg import sparse_cg_parallel, sparse_cg_seq
+from repro.kernels.spmv import spmv_parallel
+from repro.machine import MachineModel, Ring, run_spmd
+from repro.pipeline.inspector import build_comm_schedule, cached_comm_schedule
+from repro.service.cache import PlanCache
+from repro.sparse.csr import random_spd_csr, spmv_reference
+from repro.util.tables import Table
+
+N, P = 128, 8
+MODEL = MachineModel(tf=1, tc=10, alpha=10)
+ITERATIONS = 8
+
+
+def _system():
+    csr = random_spd_csr(N, density=0.06, seed=42)
+    rng = np.random.default_rng(7)
+    return csr, rng.standard_normal(N), rng.standard_normal(N)
+
+
+def test_x13_spmv_words_reconcile(emit, record):
+    csr, x, _ = _system()
+    schedule = build_comm_schedule(SparsePlacement(csr.pattern, P))
+    res = run_spmd(
+        spmv_parallel, Ring(P), MODEL,
+        args=(csr, x), kwargs={"iterations": ITERATIONS},
+    )
+    assert all((res.values[r] == spmv_reference(csr, x)).all() for r in range(P))
+
+    measured = res.metrics.scope_totals("sparse-gather").words
+    analytic = sparse_gather_words(schedule, iterations=ITERATIONS)
+    record(
+        f"spmv-n{N}-p{P}-k{ITERATIONS}",
+        makespan=max(res.finish_times),
+        measured=measured,
+        analytic=analytic,
+        band="sparse-redist-words",
+        message_count=res.message_count,
+        message_words=res.message_words,
+        metrics=res.metrics,
+    )
+    assert get_band("sparse-redist-words").check(measured / analytic)
+    assert measured == analytic
+
+    table = Table(
+        ["quantity", "analytic", "measured", "ratio"],
+        title=f"X13 — SpMV gather words, n={N}, P={P}, k={ITERATIONS}",
+    )
+    table.add_row([
+        "gather words", analytic, measured, f"{measured / analytic:.3f}",
+    ])
+    table.add_row([
+        "gather messages/iter", schedule.gather_messages,
+        res.metrics.sparse["gather_messages_per_iter"], "1.000",
+    ])
+    emit("x13_spmv_words", table.render())
+    emit.json("x13_spmv_words", {
+        "n": N, "nprocs": P, "iterations": ITERATIONS,
+        "analytic_words": analytic, "measured_words": measured,
+        "ratio": measured / analytic,
+        "sparse_metrics": dict(res.metrics.sparse),
+    })
+
+
+def test_x13_inspector_amortization(emit, record):
+    csr, x, _ = _system()
+    schedule = build_comm_schedule(SparsePlacement(csr.pattern, P))
+    rows = []
+    for iters in (1, 4, ITERATIONS):
+        amortized = run_spmd(
+            spmv_parallel, Ring(P), MODEL,
+            args=(csr, x), kwargs={"iterations": iters},
+        )
+        naive = run_spmd(
+            spmv_parallel, Ring(P), MODEL,
+            args=(csr, x),
+            kwargs={"iterations": iters, "reinspect_every_iteration": True},
+        )
+        assert (naive.values[0] == amortized.values[0]).all()
+        ratio = max(naive.finish_times) / max(amortized.finish_times)
+        predicted = amortization_ratio(schedule, csr.nnz, iters)
+        rows.append((iters, max(amortized.finish_times),
+                     max(naive.finish_times), ratio, predicted))
+
+    # The headline record: the longest sweep's speedup sits in band.
+    iters, amort_t, naive_t, ratio, _ = rows[-1]
+    record(
+        f"amortization-n{N}-p{P}-k{iters}",
+        makespan=amort_t,
+        measured=naive_t,
+        analytic=amort_t,
+        band="inspector-amortization",
+    )
+    assert get_band("inspector-amortization").check(ratio)
+    # The advantage must grow with the iteration count.
+    assert rows[-1][3] > rows[0][3]
+
+    table = Table(
+        ["k", "inspect-once", "re-inspect/sweep", "speedup", "word-ratio bound"],
+        title=f"X13 — inspector amortization, n={N}, P={P}",
+    )
+    for iters, amort_t, naive_t, ratio, predicted in rows:
+        table.add_row([
+            iters, f"{amort_t:g}", f"{naive_t:g}", f"{ratio:.3f}",
+            f"{predicted:.3f}",
+        ])
+    emit("x13_inspector_amortization", table.render())
+    emit.json("x13_inspector_amortization", {
+        "n": N, "nprocs": P,
+        "rows": [
+            {"iterations": it, "amortized_makespan": a, "naive_makespan": nv,
+             "speedup": r, "predicted_word_ratio": pr}
+            for it, a, nv, r, pr in rows
+        ],
+    })
+
+
+def test_x13_sparse_cg_and_cache(emit, record):
+    csr, _, b = _system()
+    placement = SparsePlacement(csr.pattern, P)
+
+    cache = PlanCache(capacity=8)
+    schedule, hit_cold = cached_comm_schedule(placement, cache)
+    warm_schedule, hit_warm = cached_comm_schedule(
+        SparsePlacement(csr.pattern, P), cache
+    )
+    assert (hit_cold, hit_warm) == (False, True)
+    assert schedule.content_equal(warm_schedule)
+
+    xref, iters = sparse_cg_seq(csr, b, tol=1e-10, blocks=P)
+    cold = run_spmd(
+        sparse_cg_parallel, Ring(P), MODEL, args=(csr, b),
+        kwargs={"tol": 1e-10},
+    )
+    warm = run_spmd(
+        sparse_cg_parallel, Ring(P), MODEL, args=(csr, b),
+        kwargs={"tol": 1e-10, "schedule": warm_schedule},
+    )
+    for res in (cold, warm):
+        x, used = res.values[0]
+        assert used == iters
+        assert (x == xref).all()
+
+    # Warm run: schedule served from cache, inspector never ran.
+    inspect_warm = warm.metrics.scope_totals("sparse-inspect").words
+    inspect_cold = cold.metrics.scope_totals("sparse-inspect").words
+    assert inspect_warm == 0 and inspect_cold == schedule.inspector_words
+    assert warm.metrics.sparse["schedule_builds"] == 0
+    assert warm.metrics.sparse["schedule_reuses"] == 1
+
+    gather = warm.metrics.scope_totals("sparse-gather").words
+    analytic = sparse_gather_words(schedule, iterations=iters)
+    assert gather == analytic
+    record(
+        f"cg-warm-n{N}-p{P}",
+        makespan=max(warm.finish_times),
+        measured=gather,
+        analytic=analytic,
+        band="sparse-redist-words",
+        message_count=warm.message_count,
+        message_words=warm.message_words,
+        metrics=warm.metrics,
+    )
+    record(
+        f"cg-cold-n{N}-p{P}",
+        makespan=max(cold.finish_times),
+        measured=cold.metrics.scope_totals("sparse-gather").words,
+        analytic=analytic,
+        band="sparse-redist-words",
+        message_count=cold.message_count,
+        message_words=cold.message_words,
+    )
+
+    table = Table(
+        ["run", "iters", "inspect words", "gather words", "makespan",
+         "cache"],
+        title=f"X13 — sparse CG, n={N}, P={P} (bit-identical to reference)",
+    )
+    table.add_row(["cold", iters, inspect_cold, analytic,
+                   f"{max(cold.finish_times):g}", "miss+build"])
+    table.add_row(["warm", iters, inspect_warm, gather,
+                   f"{max(warm.finish_times):g}", "hit, no inspector"])
+    emit("x13_sparse_cg", table.render())
+    emit.json("x13_sparse_cg", {
+        "n": N, "nprocs": P, "iterations": iters,
+        "bit_identical": True,
+        "cache_hits": cache.stats.hits, "cache_misses": cache.stats.misses,
+        "cold_inspect_words": inspect_cold, "warm_inspect_words": inspect_warm,
+        "gather_words_per_iter": schedule.gather_words,
+        "warm_makespan": max(warm.finish_times),
+        "cold_makespan": max(cold.finish_times),
+    })
+    assert max(warm.finish_times) < max(cold.finish_times)

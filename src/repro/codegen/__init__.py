@@ -16,6 +16,7 @@ from repro.codegen.patterns import (
     match_matmul,
 )
 from repro.codegen.redist import RedistMove, emit_redistribution_program
+from repro.codegen.sparse import SparsePattern, emit_sparse_spmv
 from repro.codegen.spmd import GeneratedProgram, generate_spmd, load_generated
 
 __all__ = [
@@ -30,4 +31,6 @@ __all__ = [
     "load_generated",
     "RedistMove",
     "emit_redistribution_program",
+    "SparsePattern",
+    "emit_sparse_spmv",
 ]

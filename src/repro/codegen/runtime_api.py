@@ -25,7 +25,15 @@ from repro.machine.collectives import (
     scatter,
     shift,
 )
+from repro.distribution.sparse import SparsePlacement
 from repro.machine.nonblocking import NBComm, waitall, waitany
+from repro.pipeline.inspector import (
+    build_comm_schedule,
+    gather_ghosts,
+    inspector_exchange,
+    spmv_local,
+)
+from repro.sparse.csr import csr_from_dense
 
 RUNTIME_NAMESPACE = {
     "np": np,
@@ -48,6 +56,13 @@ RUNTIME_NAMESPACE = {
     "local_indices": local_indices,
     "pack_section": pack_section,
     "redistribute": redistribute,
+    # Sparse inspector/executor runtime (generated irregular sweeps).
+    "SparsePlacement": SparsePlacement,
+    "build_comm_schedule": build_comm_schedule,
+    "csr_from_dense": csr_from_dense,
+    "gather_ghosts": gather_ghosts,
+    "inspector_exchange": inspector_exchange,
+    "spmv_local": spmv_local,
 }
 
 

@@ -1,0 +1,92 @@
+"""Emit the inspector/executor SPMD listing for a sparse operator.
+
+The dense emitters recognize affine loop nests; a sparse sweep's
+communication cannot be derived from the loop bounds, so the generated
+program carries the inspector/executor structure explicitly: an
+``# -- inspector --`` preamble that derives the rank's schedule once
+(or accepts a precomputed one from the environment — the plan-cache
+path), and an ``# -- executor --`` loop that replays it every iteration
+with zero re-analysis.  The listing is plain Python over the documented
+runtime surface (:mod:`repro.codegen.runtime_api`, extended here with
+the sparse runtime names) and is proven equivalent to the library
+kernel by the codegen parity test: same values bit for bit, same
+message words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.emitter import CodeWriter
+from repro.codegen.spmd import GeneratedProgram
+from repro.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class SparsePattern:
+    """Recognized sparse sweep: ``y = A @ x`` iterated *k* times."""
+
+    matrix: str
+    operand: str
+    result: str
+    iterations: int
+
+
+def emit_sparse_spmv(
+    nprocs: int,
+    matrix: str = "A",
+    operand: str = "x",
+    result: str = "y",
+    iterations: int = 1,
+) -> GeneratedProgram:
+    """Generate the inspector/executor SPMD program for iterated SpMV.
+
+    The entry takes ``(p, env)`` with ``env[matrix]`` a
+    :class:`~repro.sparse.csr.CSRMatrix` and ``env[operand]`` the global
+    operand vector; ``env["schedule"]`` (optional) short-circuits the
+    inspector with a precomputed :class:`CommSchedule` — exactly what a
+    warm plan cache supplies.  Returns the assembled global result.
+    """
+    if nprocs < 1:
+        raise CodegenError(f"nprocs must be >= 1, got {nprocs}")
+    if iterations < 1:
+        raise CodegenError(f"iterations must be >= 1, got {iterations}")
+    pat = SparsePattern(matrix, operand, result, iterations)
+    entry = "spmd_sparse_spmv"
+    w = CodeWriter()
+    with w.block(f"def {entry}(p, env):"):
+        w.line(f'"""Inspector/executor SpMV: {result} = {matrix} @ '
+               f'{operand}, {iterations} sweep(s) on {nprocs} ranks."""')
+        w.line(f"csr = env[{matrix!r}]")
+        w.line(f"x = np.asarray(env[{operand!r}], dtype=np.float64)")
+        w.blank()
+        w.line("# -- inspector: one pass over the indirection structure --")
+        w.line("# A warm plan cache supplies env['schedule'] and the")
+        w.line("# pattern walk is skipped entirely (docs/SPARSE.md).")
+        w.line(f"placement = SparsePlacement(csr.pattern, {nprocs})")
+        w.line("schedule = env.get('schedule')")
+        with w.block("if schedule is None:"):
+            w.line("local = yield from inspector_exchange(p, placement)")
+        with w.block("else:"):
+            w.line("local = schedule.rank_schedule(p.rank)")
+        w.line("xloc = x[local.col_lo:local.col_hi]")
+        w.line("lo, hi = csr.pattern.indptr[local.row_lo], "
+               "csr.pattern.indptr[local.row_hi]")
+        w.line("dloc = csr.data[lo:hi]")
+        w.blank()
+        w.line("# -- executor: replayed, zero re-analysis --")
+        w.line("yloc = np.zeros(local.row_hi - local.row_lo)")
+        with w.block(f"for _ in range({iterations}):"):
+            w.line("ghosts = yield from gather_ghosts(p, local, xloc)")
+            w.line("yloc = spmv_local(local, dloc, xloc, ghosts)")
+            w.line("p.compute(2 * len(dloc), label='spmv')")
+        w.blank()
+        w.line(f"blocks = yield from allgather(p, yloc, "
+               f"tuple(range({nprocs})), tag=930)")
+        w.line("return np.concatenate([np.atleast_1d(b) for b in blocks])")
+    return GeneratedProgram(
+        source=w.source(),
+        entry=entry,
+        strategy="sparse-inspector-executor",
+        pattern=pat,
+    )

@@ -12,6 +12,12 @@ from repro.costmodel.formulas import (
 )
 from repro.costmodel.loopcost import CostTerm, LoopCost, estimate_loop_cost
 from repro.costmodel.gridsearch import best_grid, grid_candidates
+from repro.costmodel.sparse import (
+    amortization_ratio,
+    inspector_words,
+    sparse_gather_words,
+    spmv_sweep_time,
+)
 
 __all__ = [
     "BANDS",
@@ -30,4 +36,8 @@ __all__ = [
     "estimate_loop_cost",
     "best_grid",
     "grid_candidates",
+    "amortization_ratio",
+    "inspector_words",
+    "sparse_gather_words",
+    "spmv_sweep_time",
 ]

@@ -174,6 +174,36 @@ SERVICE_CRASH_OVERHEAD = SlackBand(
     "wall-clock on both sides (X12)",
 )
 
+#: Sparse executor (X13): measured ``sparse-gather`` scope words over
+#: the schedule's analytic gather volume.  The executor sends exactly
+#: the precomputed pack vectors — one message per neighbor pair,
+#: ``len(indices)`` words each — so the ratio is 1.0 by construction;
+#: any drift means the executor re-derived (or padded) traffic the
+#: inspector did not plan, which is precisely the contract violation
+#: this band names (docs/SPARSE.md).
+SPARSE_REDIST_WORDS = SlackBand(
+    "sparse-redist-words",
+    1.0,
+    1.0,
+    "the executor replays precomputed pack vectors verbatim; measured "
+    "scope words must equal the schedule's gather volume exactly (X13)",
+)
+
+#: Sparse inspector amortization (X13): makespan of the naive
+#: re-inspect-every-sweep strawman over the inspect-once + replay
+#: executor on the same k-iteration SpMV.  Every sweep the strawman
+#: repeats the pattern-walk flops and the P*(P-1)-pair request
+#: exchange, so it must be strictly slower; the ceiling is loose
+#: because the advantage grows with iteration count and density
+#: (observed 1.14-1.48 across k in {1, 4, 8} at X13's shape).
+INSPECTOR_AMORTIZATION = SlackBand(
+    "inspector-amortization",
+    1.1,
+    20.0,
+    "re-inspecting per sweep repeats the pattern walk and the "
+    "all-pairs request exchange that inspect-once amortizes (X13)",
+)
+
 BANDS: dict[str, SlackBand] = {
     band.name: band
     for band in (
@@ -188,6 +218,8 @@ BANDS: dict[str, SlackBand] = {
         COMPILE_WARM_SPEEDUP,
         COMPILE_HIT_RATE,
         SERVICE_CRASH_OVERHEAD,
+        SPARSE_REDIST_WORDS,
+        INSPECTOR_AMORTIZATION,
     )
 }
 

@@ -1,0 +1,161 @@
+"""Sparse placements: owner-computes row partitions with halo index sets.
+
+Dense placements (:class:`~repro.distribution.schemes.ArrayPlacement`)
+describe *affine* ownership — every rank's section is computable from
+the distribution function alone.  A sparse operator adds a second,
+data-dependent layer: which **remote** vector elements a rank touches is
+determined by the column structure of its rows (the indirection array),
+not by any closed form.  :class:`SparsePlacement` captures both layers
+for the CSR row partition:
+
+* the *affine* layer is delegated to the existing machinery — the
+  operand/result vectors and the matrix rows are placed by ordinary
+  :class:`ArrayPlacement` objects (block along grid dimension 1) and
+  their per-rank sections come from the PR 2 section tables
+  (:func:`repro.distribution.sections.section_table`), so sparse and
+  dense placements compose (a redistribution into or out of the sparse
+  row layout is just a Table 1 plan between those placements);
+* the *irregular* layer — each rank's **ghost** (halo) column set, the
+  sorted remote indices appearing in its rows — is derived here from
+  the :class:`~repro.sparse.csr.CSRPattern` column structure.
+
+The inspector (:mod:`repro.pipeline.inspector`) turns ghost sets into a
+replayable communication schedule; this module owns only *who needs
+what*, not *how it moves*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.distribution.function import Kind
+from repro.distribution.schemes import ArrayPlacement
+from repro.distribution.sections import section_table
+from repro.errors import DistributionError
+from repro.sparse.csr import SPARSE_SCHEMA, CSRPattern
+
+
+@dataclass(frozen=True, eq=False)
+class SparsePlacement:
+    """CSR row partition of one sparse array over *nprocs* ranks.
+
+    Rows are block-distributed (the standard ceil-block of
+    :meth:`repro.distribution.function.Dist1D.block_dist`); the operand
+    vector is partitioned conformally over the columns.  The grid is
+    the degenerate ``(nprocs, 1)`` shape — sparse kernels are 1-D row
+    partitions, matching the paper's Table 3 Jacobi layout.
+    """
+
+    pattern: CSRPattern
+    nprocs: int
+    array: str = "A"
+    _ghosts: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise DistributionError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.pattern.nrows < 1 or self.pattern.ncols < 1:
+            raise DistributionError(
+                f"{self.array}: cannot distribute an empty "
+                f"{self.pattern.nrows}x{self.pattern.ncols} pattern"
+            )
+
+    # -- the affine layer (delegated to ArrayPlacement sections) --------
+    @property
+    def grid(self) -> tuple[int, int]:
+        return (self.nprocs, 1)
+
+    def matrix_placement(self) -> ArrayPlacement:
+        """The matrix itself: rows block-mapped to grid dim 1."""
+        return ArrayPlacement(
+            self.array, (1, None), kinds=(Kind.BLOCK, Kind.BLOCK), rest="fixed"
+        )
+
+    def vector_placement(self, name: str = "x") -> ArrayPlacement:
+        """A conformally partitioned operand/result vector placement."""
+        return ArrayPlacement(name, (1,), kinds=(Kind.BLOCK,), rest="fixed")
+
+    def owned_cols(self, rank: int) -> np.ndarray:
+        """Global operand indices stored at *rank* (via section tables)."""
+        return section_table(
+            self.vector_placement(), (self.pattern.ncols,), self.grid
+        )[rank]
+
+    def owned_rows(self, rank: int) -> np.ndarray:
+        """Global result indices computed at *rank* (via section tables)."""
+        return section_table(
+            self.vector_placement("y"), (self.pattern.nrows,), self.grid
+        )[rank]
+
+    def row_block(self, rank: int) -> tuple[int, int]:
+        """Contiguous ``[lo, hi)`` row bounds of *rank* (ceil blocks)."""
+        return _block(self.pattern.nrows, self.nprocs, rank)
+
+    def col_block(self, rank: int) -> tuple[int, int]:
+        """Contiguous ``[lo, hi)`` operand bounds of *rank*."""
+        return _block(self.pattern.ncols, self.nprocs, rank)
+
+    @cached_property
+    def col_owner(self) -> np.ndarray:
+        """Owner rank of every operand index (vectorized block owner)."""
+        size = -(-self.pattern.ncols // self.nprocs)
+        return np.arange(self.pattern.ncols, dtype=np.int64) // size
+
+    # -- the irregular layer (from the column structure) ----------------
+    def ghost_indices(self, rank: int) -> np.ndarray:
+        """Sorted remote operand indices referenced by *rank*'s rows.
+
+        The halo set: every column appearing in the rank's row block
+        whose owner (under the conformal vector placement) is another
+        rank.  Cached per rank — the pattern is immutable.
+        """
+        cached = self._ghosts.get(rank)
+        if cached is not None:
+            return cached
+        lo, hi = self.row_block(rank)
+        pat = self.pattern
+        need = np.unique(pat.indices[pat.indptr[lo] : pat.indptr[hi]])
+        ghosts = need[self.col_owner[need] != rank]
+        self._ghosts[rank] = ghosts
+        return ghosts
+
+    def halo_words(self) -> int:
+        """Total halo volume: one word per (rank, ghost index) pair."""
+        return sum(len(self.ghost_indices(r)) for r in range(self.nprocs))
+
+    @property
+    def digest(self) -> str:
+        """Content address: pattern structure + partition parameters."""
+        return _placement_digest(self)
+
+    def describe(self) -> str:
+        pat = self.pattern
+        return (
+            f"{self.array}[{pat.nrows}x{pat.ncols}, nnz={pat.nnz}] "
+            f"row-blocked over {self.nprocs} ranks, halo={self.halo_words()} words"
+        )
+
+
+def _block(extent: int, nprocs: int, rank: int) -> tuple[int, int]:
+    """The ceil-block bounds shared with ``Dist1D.block_dist`` owners."""
+    if not (0 <= rank < nprocs):
+        raise DistributionError(f"rank {rank} outside 0..{nprocs - 1}")
+    size = -(-extent // nprocs)
+    lo = min(rank * size, extent)
+    return lo, min(lo + size, extent)
+
+
+def _placement_digest(placement: SparsePlacement) -> str:
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(
+        f"{SPARSE_SCHEMA}|placement|{placement.array}|{placement.nprocs}|".encode()
+    )
+    h.update(placement.pattern.digest.encode())
+    return h.hexdigest()

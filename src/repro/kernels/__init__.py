@@ -39,6 +39,8 @@ from repro.kernels.multiphase import (
 )
 from repro.kernels.redblack import redblack_sor, redblack_sor_seq
 from repro.kernels.resilient import resilient_cg, resilient_jacobi, resilient_sor
+from repro.kernels.sparse_cg import sparse_cg_parallel, sparse_cg_seq
+from repro.kernels.spmv import spmv_parallel, spmv_seq
 
 __all__ = [
     "jacobi_seq",
@@ -72,4 +74,8 @@ __all__ = [
     "resilient_jacobi",
     "resilient_sor",
     "resilient_cg",
+    "spmv_seq",
+    "spmv_parallel",
+    "sparse_cg_seq",
+    "sparse_cg_parallel",
 ]

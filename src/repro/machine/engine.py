@@ -176,11 +176,31 @@ def _payload_words(data: Any, path: str = "payload") -> int:
     failure message can point at the offending key or index.
     """
     if isinstance(data, np.ndarray):
+        if data.dtype == object:
+            # An object array (e.g. a ragged list of gather index
+            # vectors) stores references; count the referents.
+            return sum(
+                _payload_words(item, f"{path}[{i}]")
+                for i, item in enumerate(data.flat)
+            )
+        if data.dtype.names:
+            # Structured gather payloads: .size counts records, not
+            # fields — charge each named field's column separately.
+            return sum(
+                _payload_words(data[name], f"{path}[{name!r}]")
+                for name in data.dtype.names
+            )
         return int(data.size)
     if isinstance(data, (bool, np.bool_)):
         return 1
     if isinstance(data, (int, float, complex, np.integer, np.floating)):
         return 1
+    if isinstance(data, np.void):
+        # One record of a structured array (e.g. msg[0]): per-field.
+        return sum(
+            _payload_words(data[name], f"{path}[{name!r}]")
+            for name in data.dtype.names or ()
+        )
     if isinstance(data, dict):
         return sum(_payload_words(v, f"{path}[{k!r}]") for k, v in data.items())
     if isinstance(data, (tuple, list)):

@@ -36,6 +36,9 @@ REQUEST_TID_BASE = 1000
 #: ``tid`` of the compiler-phase lane (wall-clock spans, ISSUE 5).
 COMPILER_TID = 2000
 
+#: ``tid`` of the sparse inspector/executor counter lane (docs/SPARSE.md).
+SPARSE_TID = 3000
+
 #: Event kinds drawn on the request lane instead of the rank's main lane.
 _REQUEST_KINDS = ("isend", "irecv")
 
@@ -193,20 +196,55 @@ def compiler_lane_events(spans, lane_name: str = "compiler") -> list[dict]:
     return events
 
 
+def sparse_lane_events(sparse: dict, lane_name: str = "sparse") -> list[dict]:
+    """Draw ``Metrics.sparse`` counters as one extra Perfetto lane.
+
+    *sparse* is the counter dict a sparse kernel stamped
+    (:func:`repro.pipeline.inspector.stamp_sparse`).  Counters have no
+    time extent, so each renders as a t=0 thread-scoped instant event
+    under ``tid`` :data:`SPARSE_TID` with its value in ``args`` —
+    mirroring how service-fault markers land on the compiler lane, and
+    keeping schedule provenance (built vs cache-served, words per sweep)
+    in the same document as the traffic it explains.
+    """
+    events: list[dict] = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": SPARSE_TID,
+         "args": {"name": lane_name}},
+    ]
+    for key in sorted(sparse):
+        events.append(
+            {
+                "name": f"sparse/{key}",
+                "cat": "sparse",
+                "ph": "i",
+                "s": "t",
+                "ts": 0,
+                "pid": 0,
+                "tid": SPARSE_TID,
+                "args": {"value": int(sparse[key])},
+            }
+        )
+    return events
+
+
 def chrome_trace_json(
     trace: list[list[TraceEvent]],
     process_name: str = "spmd",
     metadata: dict | None = None,
     spans=None,
+    sparse: dict | None = None,
 ) -> dict:
     """A complete JSON-object-format trace document.
 
     Pass *spans* (from :class:`repro.util.spans.SpanRecorder`) to add the
-    compiler-phase lane next to the simulated rank lanes.
+    compiler-phase lane next to the simulated rank lanes, and *sparse*
+    (``Metrics.sparse``) to add the inspector/executor counter lane.
     """
     events = chrome_trace_events(trace, process_name=process_name)
     if spans:
         events.extend(compiler_lane_events(spans))
+    if sparse:
+        events.extend(sparse_lane_events(sparse))
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -222,11 +260,13 @@ def write_chrome_trace(
     process_name: str = "spmd",
     metadata: dict | None = None,
     spans=None,
+    sparse: dict | None = None,
 ) -> pathlib.Path:
     """Write a Perfetto-loadable trace file and return its path."""
     path = pathlib.Path(path)
     doc = chrome_trace_json(
-        trace, process_name=process_name, metadata=metadata, spans=spans
+        trace, process_name=process_name, metadata=metadata, spans=spans,
+        sparse=sparse,
     )
     path.write_text(json.dumps(doc, indent=1))
     return path

@@ -107,6 +107,15 @@ class Metrics:
     #: ``pool_deadline_kills``) and ``fallbacks`` — requests that
     #: degraded to in-process compilation (docs/RESILIENCE.md).
     service: dict[str, int] = field(init=False, default_factory=dict)
+    #: Sparse inspector/executor counters stamped (rank 0 only) by
+    #: :func:`repro.pipeline.inspector.stamp_sparse` (docs/SPARSE.md):
+    #: ``iterations``, ``gather_words_per_iter``,
+    #: ``gather_messages_per_iter``, ``inspector_words``,
+    #: ``inspector_runs``, ``schedule_builds``, ``schedule_reuses`` —
+    #: how a run's communication schedule was obtained (built on-machine
+    #: vs replayed from a warm plan cache) and what the executor moves
+    #: per sweep.
+    sparse: dict[str, int] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
@@ -353,6 +362,15 @@ class Metrics:
             table.add_row([key, self.service[key]])
         return table.render()
 
+    def sparse_table(self) -> str:
+        table = Table(
+            ["counter", "count"],
+            title="Sparse inspector/executor",
+        )
+        for key in sorted(self.sparse):
+            table.add_row([key, self.sparse[key]])
+        return table.render()
+
     def summary(self) -> str:
         parts = [self.rank_table()]
         if any(r.inflight_seconds > 0.0 for r in self.ranks):
@@ -365,6 +383,8 @@ class Metrics:
             parts.append(self.fault_table())
         if self.service:
             parts.append(self.service_table())
+        if self.sparse:
+            parts.append(self.sparse_table())
         return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
@@ -419,6 +439,12 @@ class Metrics:
                 if self.service
                 else {}
             ),
+            # Likewise only present when a sparse kernel stamped it.
+            **(
+                {"sparse": {k: self.sparse[k] for k in sorted(self.sparse)}}
+                if self.sparse
+                else {}
+            ),
         }
 
     @classmethod
@@ -458,4 +484,5 @@ class Metrics:
         }
         m.faults = {k: int(v) for k, v in data.get("faults", {}).items()}
         m.service = {k: int(v) for k, v in data.get("service", {}).items()}
+        m.sparse = {k: int(v) for k, v in data.get("sparse", {}).items()}
         return m

@@ -1,5 +1,22 @@
-"""Pipelining (paper §5-§6): schedules, mappings, broadcast elimination."""
+"""Pipelining and scheduling passes (paper §5-§6, plus irregular sweeps).
 
+Affine passes: pipeline schedules/mappings and broadcast elimination,
+stencil overlap rewriting.  Irregular pass: the inspector/executor
+communication-schedule compiler (:mod:`repro.pipeline.inspector`,
+docs/SPARSE.md).
+"""
+
+from repro.pipeline.inspector import (
+    CommSchedule,
+    RankSchedule,
+    build_comm_schedule,
+    cached_comm_schedule,
+    gather_ghosts,
+    inspector_exchange,
+    schedule_digest,
+    spmv_local,
+    stamp_sparse,
+)
 from repro.pipeline.mapping import MappingChoice, choose_mapping, mapping_table
 from repro.pipeline.overlap import (
     HaloExchange,
@@ -8,8 +25,19 @@ from repro.pipeline.overlap import (
     overlap_schedule,
     overlap_table,
 )
-from repro.pipeline.sor_schedule import ScheduleCell, sor_schedule_from_trace
-from repro.pipeline.transform import CommDecision, pipeline_decisions, pipeline_savings
+from repro.pipeline.sor_schedule import (
+    ScheduleCell,
+    render_schedule,
+    schedule_properties,
+    sor_schedule_from_trace,
+)
+from repro.pipeline.transform import (
+    CommDecision,
+    TokenCost,
+    pipeline_decisions,
+    pipeline_savings,
+    savings_table,
+)
 
 __all__ = [
     "MappingChoice",
@@ -17,12 +45,25 @@ __all__ = [
     "mapping_table",
     "ScheduleCell",
     "sor_schedule_from_trace",
+    "render_schedule",
+    "schedule_properties",
     "CommDecision",
+    "TokenCost",
     "pipeline_decisions",
     "pipeline_savings",
+    "savings_table",
     "HaloExchange",
     "OverlapSchedule",
     "SweepOverlap",
     "overlap_schedule",
     "overlap_table",
+    "RankSchedule",
+    "CommSchedule",
+    "build_comm_schedule",
+    "schedule_digest",
+    "cached_comm_schedule",
+    "inspector_exchange",
+    "gather_ghosts",
+    "spmv_local",
+    "stamp_sparse",
 ]

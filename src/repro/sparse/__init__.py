@@ -1,0 +1,77 @@
+"""The sparse/irregular workload subsystem (docs/SPARSE.md).
+
+One facade over the pieces the inspector/executor path comprises:
+
+* CSR containers and the bit-exactness oracle (:mod:`repro.sparse.csr`);
+* the row partition with ghost sets
+  (:class:`repro.distribution.sparse.SparsePlacement`);
+* the inspector/executor pass
+  (:mod:`repro.pipeline.inspector`);
+* the kernels (:mod:`repro.kernels.spmv`,
+  :mod:`repro.kernels.sparse_cg`).
+
+Importing from here gets the whole workload class in one line::
+
+    from repro.sparse import csr_from_dense, SparsePlacement, spmv_parallel
+
+The non-CSR names resolve lazily (PEP 562): the placement, pipeline and
+kernel layers all import :mod:`repro.sparse.csr`, so eager re-exports
+here would make this package circular with its own consumers.
+"""
+
+from repro.sparse.csr import (
+    SPARSE_SCHEMA,
+    CSRMatrix,
+    CSRPattern,
+    csr_from_dense,
+    random_pattern,
+    random_spd_csr,
+    spmv_reference,
+)
+
+#: Lazily re-exported names -> defining module.
+_LAZY = {
+    "SparsePlacement": "repro.distribution.sparse",
+    "CommSchedule": "repro.pipeline.inspector",
+    "RankSchedule": "repro.pipeline.inspector",
+    "build_comm_schedule": "repro.pipeline.inspector",
+    "cached_comm_schedule": "repro.pipeline.inspector",
+    "gather_ghosts": "repro.pipeline.inspector",
+    "inspector_exchange": "repro.pipeline.inspector",
+    "schedule_digest": "repro.pipeline.inspector",
+    "spmv_local": "repro.pipeline.inspector",
+    "stamp_sparse": "repro.pipeline.inspector",
+    "spmv_parallel": "repro.kernels.spmv",
+    "spmv_seq": "repro.kernels.spmv",
+    "sparse_cg_parallel": "repro.kernels.sparse_cg",
+    "sparse_cg_seq": "repro.kernels.sparse_cg",
+}
+
+__all__ = [
+    "SPARSE_SCHEMA",
+    "CSRMatrix",
+    "CSRPattern",
+    "csr_from_dense",
+    "random_pattern",
+    "random_spd_csr",
+    "spmv_reference",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

@@ -47,6 +47,44 @@ class TestPayloadWords:
             _payload_words([1.0, (2.0, object())])
         assert "payload[1][1]" in str(err.value)
 
+    def test_index_array(self):
+        # The inspector ships int64 gather index vectors verbatim.
+        assert _payload_words(np.arange(7, dtype=np.int64)) == 7
+        assert _payload_words(np.array([], dtype=np.int64)) == 0
+
+    def test_object_array_counts_referents(self):
+        # A ragged object array of index vectors stores references;
+        # size alone (3) would undercount the 2+4+1 referent words.
+        ragged = np.empty(3, dtype=object)
+        ragged[0] = np.arange(2, dtype=np.int64)
+        ragged[1] = np.arange(4, dtype=np.int64)
+        ragged[2] = 5.0
+        assert _payload_words(ragged) == 7
+
+    def test_object_array_failure_names_offending_index(self):
+        ragged = np.empty(2, dtype=object)
+        ragged[0] = 1.0
+        ragged[1] = object()
+        with pytest.raises(CommunicationError) as err:
+            _payload_words(ragged)
+        assert "payload[1]" in str(err.value)
+
+    def test_structured_array_counts_fields(self):
+        # .size counts records (3), not the 2 fields per record.
+        rec = np.zeros(3, dtype=[("idx", np.int64), ("val", np.float64)])
+        assert _payload_words(rec) == 6
+
+    def test_structured_scalar(self):
+        rec = np.zeros(2, dtype=[("idx", np.int64), ("val", np.float64)])
+        assert _payload_words(rec[0]) == 2
+
+    def test_structured_failure_names_offending_field(self):
+        rec = np.zeros(2, dtype=[("idx", np.int64), ("blob", object)])
+        rec["blob"][1] = object()
+        with pytest.raises(CommunicationError) as err:
+            _payload_words({"msg": rec})
+        assert "payload['msg']['blob'][1]" in str(err.value)
+
     def test_dict_payload_round_trips(self, unit_model):
         def prog(p):
             if p.rank == 0:

@@ -1,0 +1,76 @@
+"""Source-sweep guard against dead package exports (ISSUE 9 satellite).
+
+The PR 7 shim check keeps removed names out; this is the dual — every
+*public* top-level class and function defined in a ``distribution`` or
+``pipeline`` module must be importable from the package root, and every
+``__all__`` entry must resolve.  A new module whose names are forgotten
+in ``__init__`` fails here by name.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages whose __all__ is swept against their modules' public names.
+SWEPT = ("distribution", "pipeline", "sparse", "kernels", "costmodel")
+
+
+def _public_defs(package: str) -> dict[str, list[str]]:
+    names: dict[str, list[str]] = {}
+    for path in sorted((SRC / package).glob("*.py")):
+        if path.name == "__init__.py":
+            continue
+        tree = ast.parse(path.read_text())
+        mod_names = [
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        if mod_names:
+            names[path.stem] = mod_names
+    return names
+
+
+@pytest.mark.parametrize("package", SWEPT)
+def test_all_entries_resolve(package):
+    pkg = importlib.import_module(f"repro.{package}")
+    for name in pkg.__all__:
+        assert getattr(pkg, name, None) is not None, (
+            f"repro.{package}.__all__ lists {name!r} but it does not resolve"
+        )
+
+
+@pytest.mark.parametrize("package", ("distribution", "pipeline"))
+def test_no_dead_public_names(package):
+    pkg = importlib.import_module(f"repro.{package}")
+    exported = set(pkg.__all__)
+    missing = {
+        f"{module}.{name}"
+        for module, names in _public_defs(package).items()
+        for name in names
+        if name not in exported
+    }
+    assert not missing, (
+        f"public names in repro.{package} modules missing from __all__: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_sparse_facade_covers_subsystem():
+    import repro.sparse as sparse
+
+    for name in (
+        "CSRPattern", "CSRMatrix", "SparsePlacement", "CommSchedule",
+        "build_comm_schedule", "cached_comm_schedule", "spmv_parallel",
+        "sparse_cg_parallel", "spmv_reference",
+    ):
+        assert name in sparse.__all__
+        assert getattr(sparse, name) is not None
+    assert "CommSchedule" in dir(sparse)

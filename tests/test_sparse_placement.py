@@ -1,0 +1,103 @@
+"""CSR containers and the sparse row partition (docs/SPARSE.md)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.distribution.sparse import SparsePlacement
+from repro.sparse.csr import (
+    CSRMatrix,
+    CSRPattern,
+    csr_from_dense,
+    random_pattern,
+    random_spd_csr,
+    spmv_reference,
+)
+
+
+class TestCSRPattern:
+    def test_canonical_and_digest_stable(self):
+        a = CSRPattern.from_coo(3, 4, [0, 0, 2, 1], [3, 1, 0, 2])
+        b = CSRPattern.from_coo(3, 4, [2, 1, 0, 0, 0], [0, 2, 1, 3, 1])
+        assert a.digest == b.digest  # dedup + sort canonicalize
+        assert a.nnz == 4
+        assert list(a.row_cols(0)) == [1, 3]
+
+    def test_digest_separates_structure(self):
+        a = CSRPattern.from_coo(3, 3, [0, 1], [1, 2])
+        b = CSRPattern.from_coo(3, 3, [0, 1], [2, 2])
+        assert a.digest != b.digest
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            CSRPattern(2, 2, np.array([0, 1]), np.array([0]))  # bad indptr len
+        with pytest.raises(DistributionError):
+            CSRPattern(1, 2, np.array([0, 1]), np.array([5]))  # col out of range
+        with pytest.raises(DistributionError):
+            CSRPattern(1, 3, np.array([0, 2]), np.array([2, 1]))  # unsorted row
+
+    def test_transpose_round_trip(self):
+        pat = random_pattern(6, 9, 0.3, seed=2)
+        back = pat.transpose_pattern().transpose_pattern()
+        assert back.digest == pat.digest
+
+    def test_dense_round_trip(self):
+        A = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [0.0, 3.0, 0.0]])
+        csr = csr_from_dense(A)
+        assert (csr.to_dense() == A).all()
+        assert csr.nnz == 3
+
+    def test_spmv_reference_matches_dense(self):
+        csr = random_spd_csr(12, density=0.3, seed=1)
+        x = np.random.default_rng(0).standard_normal(12)
+        assert np.allclose(spmv_reference(csr, x), csr.to_dense() @ x)
+
+    def test_data_length_validated(self):
+        pat = CSRPattern.from_coo(2, 2, [0, 1], [0, 1])
+        with pytest.raises(DistributionError):
+            CSRMatrix(pat, np.zeros(3))
+
+
+class TestSparsePlacement:
+    def test_blocks_partition_rows_and_cols(self):
+        pl = SparsePlacement(random_pattern(10, 10, 0.3, seed=0), 4)
+        rows = [pl.row_block(r) for r in range(4)]
+        assert rows[0][0] == 0 and rows[-1][1] == 10
+        assert all(a[1] == b[0] for a, b in zip(rows, rows[1:]))
+
+    def test_sections_agree_with_blocks(self):
+        # The affine layer delegates to the PR 2 section tables; the
+        # ceil blocks here must be the same ownership those tables give.
+        pl = SparsePlacement(random_pattern(11, 11, 0.4, seed=3), 3)
+        for rank in range(3):
+            lo, hi = pl.col_block(rank)
+            assert list(pl.owned_cols(rank)) == list(range(lo, hi))
+            lo, hi = pl.row_block(rank)
+            assert list(pl.owned_rows(rank)) == list(range(lo, hi))
+
+    def test_ghosts_are_remote_and_sorted(self):
+        pl = SparsePlacement(random_pattern(16, 16, 0.25, seed=5), 4)
+        for rank in range(4):
+            g = pl.ghost_indices(rank)
+            lo, hi = pl.col_block(rank)
+            assert ((g < lo) | (g >= hi)).all()
+            assert (np.diff(g) > 0).all() if len(g) > 1 else True
+            assert (pl.col_owner[g] != rank).all()
+
+    def test_single_rank_has_no_halo(self):
+        pl = SparsePlacement(random_pattern(8, 8, 0.5, seed=1), 1)
+        assert pl.halo_words() == 0
+
+    def test_digest_covers_partition(self):
+        pat = random_pattern(12, 12, 0.3, seed=7)
+        assert SparsePlacement(pat, 3).digest != SparsePlacement(pat, 4).digest
+        assert SparsePlacement(pat, 3).digest == SparsePlacement(pat, 3).digest
+
+    def test_validation(self):
+        pat = random_pattern(4, 4, 0.5, seed=0)
+        with pytest.raises(DistributionError):
+            SparsePlacement(pat, 0)
+        with pytest.raises(DistributionError):
+            SparsePlacement(pat, 2).row_block(5)
