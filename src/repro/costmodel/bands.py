@@ -204,6 +204,22 @@ INSPECTOR_AMORTIZATION = SlackBand(
     "all-pairs request exchange that inspect-once amortizes (X13)",
 )
 
+#: Wait-attribution coverage (X14, docs/OBSERVABILITY.md): the share of
+#: total blocked-wait seconds the diagnostics pass
+#: (:func:`repro.obs.diagnose.attribute_waits`) pins on a *named* cause
+#: — an injected channel fault, a crashed/deadline-killed peer, or a
+#: straggling/blocked sender.  Every wait in a simulated trace has a
+#: recorded sender-side history, so on the chaos Jacobi drill coverage
+#: must reach at least 0.9; residual unattributed time is limited to
+#: boundary intervals where the blamed lane shows no activity at all.
+WAIT_ATTRIBUTION = SlackBand(
+    "wait-attribution",
+    0.9,
+    1.0,
+    "every simulated wait has a recorded sender-side history, so the "
+    "attribution pass must explain >= 90% of idle time by name (X14)",
+)
+
 BANDS: dict[str, SlackBand] = {
     band.name: band
     for band in (
@@ -220,6 +236,7 @@ BANDS: dict[str, SlackBand] = {
         SERVICE_CRASH_OVERHEAD,
         SPARSE_REDIST_WORDS,
         INSPECTOR_AMORTIZATION,
+        WAIT_ATTRIBUTION,
     )
 }
 

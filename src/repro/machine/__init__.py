@@ -32,7 +32,9 @@ from repro.machine.engine import (
 )
 from repro.machine.export import (
     chrome_trace_json,
+    correlated_trace_json,
     match_messages,
+    merge_events,
     write_chrome_trace,
 )
 from repro.machine.faults import CrashFault, FaultPlan, FaultState, MessageFate
@@ -78,6 +80,8 @@ __all__ = [
     "CriticalPathReport",
     "PathStep",
     "chrome_trace_json",
+    "correlated_trace_json",
+    "merge_events",
     "write_chrome_trace",
     "match_messages",
     "ThreadedEngine",

@@ -59,6 +59,7 @@ from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.machine.trace import TraceLane
+from repro.obs.context import stamp_current
 
 Channel = tuple[int, int, int]  # (source, dest, tag)
 
@@ -1011,6 +1012,9 @@ class Engine:
                 if deadline is not None:
                     calendar.push_timeout(rank, deadline)
 
+        # Correlate this run with the compile request that produced it
+        # (docs/OBSERVABILITY.md) — a no-op outside any trace context.
+        stamp_current(self.metrics)
         return RunResult(
             values=values,
             finish_times=[p.clock for p in self.procs],

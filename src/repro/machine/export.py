@@ -227,6 +227,104 @@ def sparse_lane_events(sparse: dict, lane_name: str = "sparse") -> list[dict]:
     return events
 
 
+def merge_events(*event_lists: list[dict]) -> list[dict]:
+    """Concatenate trace-event lists, deduplicating ``M`` metadata.
+
+    Each lane helper emits its own ``process_name``/``thread_name``
+    metadata so it is loadable standalone; when lanes are combined — or
+    an exporter is invoked twice over the same Metrics — the repeats
+    would pile up.  Only the first metadata event per
+    ``(name, pid, tid, args)`` identity survives; all non-metadata
+    events pass through in order.
+    """
+    seen: set[tuple] = set()
+    out: list[dict] = []
+    for events in event_lists:
+        for e in events:
+            if e.get("ph") == "M":
+                key = (
+                    e.get("name"), e.get("pid"), e.get("tid"),
+                    tuple(sorted(e.get("args", {}).items())),
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+            out.append(e)
+    return out
+
+
+def _flow_id(run_id: str) -> int:
+    """A stable flow-arrow id for a run's compile→run boundary arrow.
+
+    Message flow arrows are numbered 0..N-1, so boundary arrows live in
+    a disjoint high range derived deterministically from the run id (no
+    ``hash()`` — that is salted per process).
+    """
+    acc = 0
+    for ch in run_id:
+        acc = (acc * 131 + ord(ch)) % 1_000_000
+    return 10_000_000 + acc
+
+
+def correlated_trace_json(
+    trace: list[list[TraceEvent]],
+    spans=None,
+    context=None,
+    process_name: str = "spmd",
+    metadata: dict | None = None,
+    sparse: dict | None = None,
+) -> dict:
+    """One merged timeline: compiler lane + rank lanes + a boundary arrow.
+
+    The correlated form of :func:`chrome_trace_json`
+    (docs/OBSERVABILITY.md): *spans* draw the compile-service wall-clock
+    lane, *trace* the simulated rank lanes, and *context* (a
+    :class:`~repro.obs.context.TraceContext`) is recorded under
+    ``otherData.trace_context`` and bound visually by a flow-arrow pair
+    named ``compile->run`` from the end of the last compiler span to the
+    first simulated event — the one-id-links-everything story, drawn.
+    """
+    lanes = [chrome_trace_events(trace, process_name=process_name)]
+    if spans:
+        lanes.append(compiler_lane_events(spans))
+    if sparse:
+        lanes.append(sparse_lane_events(sparse))
+    events = merge_events(*lanes)
+    if context is not None and spans:
+        span_dicts = [s if isinstance(s, dict) else s.as_dict() for s in spans]
+        compile_end = max(s["end"] for s in span_dicts)
+        first = min(
+            (e for lane in trace for e in lane),
+            key=lambda e: (e.start, e.rank),
+            default=None,
+        )
+        common = {
+            "name": "compile->run",
+            "cat": "obs",
+            "pid": 0,
+            "id": _flow_id(context.run_id),
+        }
+        events.append(
+            {**common, "ph": "s", "ts": compile_end * TIME_SCALE,
+             "tid": COMPILER_TID}
+        )
+        events.append(
+            {**common, "ph": "f", "bp": "e",
+             "ts": (first.start if first else 0.0) * TIME_SCALE,
+             "tid": _tid(first) if first else 0}
+        )
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    other = dict(metadata) if metadata else {}
+    if context is not None:
+        other["trace_context"] = context.as_dict()
+    if other:
+        doc["otherData"] = other
+    return doc
+
+
 def chrome_trace_json(
     trace: list[list[TraceEvent]],
     process_name: str = "spmd",
@@ -240,13 +338,13 @@ def chrome_trace_json(
     compiler-phase lane next to the simulated rank lanes, and *sparse*
     (``Metrics.sparse``) to add the inspector/executor counter lane.
     """
-    events = chrome_trace_events(trace, process_name=process_name)
+    lanes = [chrome_trace_events(trace, process_name=process_name)]
     if spans:
-        events.extend(compiler_lane_events(spans))
+        lanes.append(compiler_lane_events(spans))
     if sparse:
-        events.extend(sparse_lane_events(sparse))
+        lanes.append(sparse_lane_events(sparse))
     doc = {
-        "traceEvents": events,
+        "traceEvents": merge_events(*lanes),
         "displayTimeUnit": "ms",
     }
     if metadata:

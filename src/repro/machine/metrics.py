@@ -116,6 +116,12 @@ class Metrics:
     #: vs replayed from a warm plan cache) and what the executor moves
     #: per sweep.
     sparse: dict[str, int] = field(init=False, default_factory=dict)
+    #: Correlation keys stamped by :func:`repro.obs.context.stamp_current`
+    #: when the run executed under a :class:`~repro.obs.context.TraceContext`
+    #: (docs/OBSERVABILITY.md): ``run_id`` plus optionally
+    #: ``request_digest`` and ``parent``.  String-valued, unlike the
+    #: counter groups above.
+    obs: dict[str, str] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ranks = [RankMetrics(r) for r in range(self.nprocs)]
@@ -371,6 +377,15 @@ class Metrics:
             table.add_row([key, self.sparse[key]])
         return table.render()
 
+    def obs_table(self) -> str:
+        table = Table(
+            ["key", "value"],
+            title="Trace correlation",
+        )
+        for key in sorted(self.obs):
+            table.add_row([key, self.obs[key]])
+        return table.render()
+
     def summary(self) -> str:
         parts = [self.rank_table()]
         if any(r.inflight_seconds > 0.0 for r in self.ranks):
@@ -385,6 +400,8 @@ class Metrics:
             parts.append(self.service_table())
         if self.sparse:
             parts.append(self.sparse_table())
+        if self.obs:
+            parts.append(self.obs_table())
         return "\n\n".join(parts)
 
     def as_dict(self) -> dict:
@@ -445,6 +462,12 @@ class Metrics:
                 if self.sparse
                 else {}
             ),
+            # Likewise only present when a trace context stamped it.
+            **(
+                {"obs": {k: self.obs[k] for k in sorted(self.obs)}}
+                if self.obs
+                else {}
+            ),
         }
 
     @classmethod
@@ -485,4 +508,5 @@ class Metrics:
         m.faults = {k: int(v) for k, v in data.get("faults", {}).items()}
         m.service = {k: int(v) for k, v in data.get("service", {}).items()}
         m.sparse = {k: int(v) for k, v in data.get("sparse", {}).items()}
+        m.obs = {k: str(v) for k, v in data.get("obs", {}).items()}
         return m

@@ -43,6 +43,7 @@ from repro.machine.metrics import Metrics
 from repro.machine.model import MachineModel
 from repro.machine.topology import Topology
 from repro.machine.trace import TraceLane
+from repro.obs.context import stamp_current
 
 
 class ThreadedEngine:
@@ -344,6 +345,9 @@ class ThreadedEngine:
                 blocked.update(e.blocked)
             raise DeadlockError(blocked, report=self._deadlock_report)
 
+        # Same correlation stamp as the calendar engine: the twins must
+        # produce identical metrics, obs group included.
+        stamp_current(self.metrics)
         return RunResult(
             values=values,
             finish_times=[p.clock for p in self.procs],

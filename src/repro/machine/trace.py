@@ -43,6 +43,15 @@ class TraceEvent:
     def duration(self) -> float:
         return self.end - self.start
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (the shape stored by ``repro.obs.TraceStore``)."""
+        return {
+            "rank": self.rank, "kind": self.kind,
+            "start": self.start, "end": self.end,
+            "peer": self.peer, "words": self.words, "tag": self.tag,
+            "detail": self.detail, "scope": self.scope,
+        }
+
     def label(self) -> str:
         if self.kind == "compute":
             return self.detail or "compute"

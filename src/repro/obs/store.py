@@ -1,0 +1,293 @@
+"""TraceStore — the unified, queryable JSONL event sink (docs/OBSERVABILITY.md).
+
+Every telemetry source in the repo lands in one flat, schema-tagged
+event list:
+
+* simulated rank lanes (:class:`~repro.machine.trace.TraceEvent`) become
+  ``lane="rank"`` events, preserving per-rank recording order (the FIFO
+  discipline :func:`~repro.machine.export.match_messages` and the
+  critical-path walker depend on);
+* compiler wall-clock spans (:class:`~repro.util.spans.Span`) become
+  ``lane="compiler"`` events (``kind`` ``span``/``instant``, ``rank``
+  -1), so compile time and simulated time live in the same store;
+* every event carries the ``run`` correlation id
+  (:class:`~repro.obs.context.TraceContext`), so one store can hold many
+  runs and still answer per-run questions.
+
+The query API filters by lane/rank/kind/peer/tag/scope/collective/
+time-window/run and aggregates wait time, message volume and per-rank
+send/recv matrices — replacing the ad-hoc trace-list plumbing that
+``tools/report.py`` used to do by hand.  The on-disk form is JSONL
+(one header line, one event per line) and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.machine.trace import TraceEvent
+
+#: Schema tag written on the JSONL header line.
+SCHEMA = "repro-obs/1"
+
+#: Field order of one serialized event line (stable across versions).
+_FIELDS = (
+    "lane", "rank", "kind", "start", "end", "peer", "words", "tag",
+    "detail", "scope", "run",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """One correlated telemetry event (simulated or wall-clock).
+
+    ``lane`` is ``"rank"`` for simulated events (``rank`` >= 0, times in
+    simulated seconds) and ``"compiler"`` for wall-clock spans
+    (``rank`` -1, times in seconds since the recorder epoch, ``detail``
+    holds the span name).  ``run`` is the correlation id, empty when the
+    source was not run under a :class:`~repro.obs.context.TraceContext`.
+    """
+
+    lane: str
+    rank: int
+    kind: str
+    start: float
+    end: float
+    peer: int | None = None
+    words: int = 0
+    tag: int = 0
+    detail: str = ""
+    scope: str = ""
+    run: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Half-open window test ``[t0, t1)``.
+
+        Zero-duration events are points (included iff ``t0 <= start <
+        t1``); extended events are included iff they overlap the window.
+        """
+        if self.end == self.start:
+            return t0 <= self.start < t1
+        return self.start < t1 and self.end > t0
+
+
+def _scope_matches(scope: str, prefix: str) -> bool:
+    """Exact-or-nested scope match, same rule as ``Metrics.scope_totals``."""
+    return scope == prefix or scope.startswith(prefix + "/")
+
+
+class TraceStore:
+    """A flat store of :class:`ObsEvent` with filters and aggregations."""
+
+    def __init__(self, nprocs: int = 0) -> None:
+        self.events: list[ObsEvent] = []
+        self.nprocs = nprocs
+
+    # -- ingestion -------------------------------------------------------
+    def add(self, event: ObsEvent) -> None:
+        self.events.append(event)
+        if event.lane == "rank" and event.rank >= self.nprocs:
+            self.nprocs = event.rank + 1
+
+    def add_trace(self, trace, run: str = "") -> None:
+        """Ingest simulator lanes (``RunResult.trace``), preserving
+        per-rank recording order."""
+        for lane in trace:
+            for e in lane:
+                self.add(
+                    ObsEvent(
+                        lane="rank", rank=e.rank, kind=e.kind,
+                        start=e.start, end=e.end, peer=e.peer,
+                        words=e.words, tag=e.tag, detail=e.detail,
+                        scope=e.scope, run=run,
+                    )
+                )
+
+    def add_spans(self, spans, run: str = "") -> None:
+        """Ingest compiler wall-clock spans (Span objects or dicts)."""
+        for s in spans:
+            if not isinstance(s, dict):
+                s = s.as_dict()
+            kind = "instant" if s["end"] == s["start"] else "span"
+            self.add(
+                ObsEvent(
+                    lane="compiler", rank=-1, kind=kind,
+                    start=float(s["start"]), end=float(s["end"]),
+                    detail=str(s["name"]), run=run,
+                )
+            )
+
+    @classmethod
+    def from_run(cls, result, run: str = "", spans=None) -> "TraceStore":
+        """Build a store from one traced :class:`RunResult`.
+
+        *run* defaults to the ``run_id`` the engine stamped into
+        ``result.metrics.obs`` (empty when the run carried no context).
+        """
+        metrics = getattr(result, "metrics", None)
+        if not run and metrics is not None:
+            run = str(metrics.obs.get("run_id", ""))
+        store = cls()
+        if result.trace is not None:
+            store.add_trace(result.trace, run=run)
+        if spans:
+            store.add_spans(spans, run=run)
+        return store
+
+    # -- queries ---------------------------------------------------------
+    def query(
+        self,
+        *,
+        lane: str | None = None,
+        rank: int | None = None,
+        kind: str | tuple[str, ...] | None = None,
+        peer: int | None = None,
+        tag: int | None = None,
+        scope: str | None = None,
+        detail: str | None = None,
+        run: str | None = None,
+        between: tuple[float, float] | None = None,
+    ) -> list[ObsEvent]:
+        """Filter events; all given criteria must hold (AND semantics).
+
+        ``kind`` accepts one kind or a tuple; ``scope`` matches the
+        scope itself or anything nested under it (``"redist"`` matches
+        ``"redist/bcast"``); ``between`` is a half-open time window
+        ``[t0, t1)`` using :meth:`ObsEvent.overlaps`.  Events come back
+        in insertion order (per-rank program order for rank lanes).
+        """
+        kinds = (kind,) if isinstance(kind, str) else kind
+        out = []
+        for e in self.events:
+            if lane is not None and e.lane != lane:
+                continue
+            if rank is not None and e.rank != rank:
+                continue
+            if kinds is not None and e.kind not in kinds:
+                continue
+            if peer is not None and e.peer != peer:
+                continue
+            if tag is not None and e.tag != tag:
+                continue
+            if scope is not None and not _scope_matches(e.scope, scope):
+                continue
+            if detail is not None and e.detail != detail:
+                continue
+            if run is not None and e.run != run:
+                continue
+            if between is not None and not e.overlaps(*between):
+                continue
+            out.append(e)
+        return out
+
+    def rank_lanes(self, run: str | None = None) -> list[list[TraceEvent]]:
+        """Rebuild per-rank :class:`TraceEvent` lanes (insertion order).
+
+        The inverse of :meth:`add_trace` — diagnostics reuse the
+        existing lane-shaped analyses (critical path, message matching)
+        on stored events.
+        """
+        lanes: list[list[TraceEvent]] = [[] for _ in range(self.nprocs)]
+        for e in self.query(lane="rank", run=run):
+            lanes[e.rank].append(
+                TraceEvent(
+                    rank=e.rank, kind=e.kind, start=e.start, end=e.end,
+                    peer=e.peer, words=e.words, tag=e.tag,
+                    detail=e.detail, scope=e.scope,
+                )
+            )
+        return lanes
+
+    def runs(self) -> list[str]:
+        """Distinct run ids present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.run)
+        return list(seen)
+
+    # -- aggregations ----------------------------------------------------
+    def wait_seconds(self, **filters) -> float:
+        """Total blocked-wait time over the matching events."""
+        return sum(e.duration for e in self.query(kind="wait", **filters))
+
+    def busy_by_rank(
+        self, kinds: tuple[str, ...] = ("compute", "delay"), **filters
+    ) -> dict[int, float]:
+        """Per-rank summed duration of the given kinds (ranks 0..N-1)."""
+        out = {r: 0.0 for r in range(self.nprocs)}
+        for e in self.query(lane="rank", kind=kinds, **filters):
+            out[e.rank] += e.duration
+        return out
+
+    def message_words(self, **filters) -> int:
+        """Total injected words over matching ``send``/``isend`` events."""
+        return sum(
+            e.words for e in self.query(kind=("send", "isend"), **filters)
+        )
+
+    def send_matrix(self, run: str | None = None) -> list[list[int]]:
+        """``matrix[src][dst]`` = words injected src -> dst."""
+        n = self.nprocs
+        matrix = [[0] * n for _ in range(n)]
+        for e in self.query(lane="rank", kind=("send", "isend"), run=run):
+            if e.peer is not None and 0 <= e.peer < n:
+                matrix[e.rank][e.peer] += e.words
+        return matrix
+
+    def recv_matrix(self, run: str | None = None) -> list[list[int]]:
+        """``matrix[src][dst]`` = words drained at dst from src."""
+        n = self.nprocs
+        matrix = [[0] * n for _ in range(n)]
+        for e in self.query(lane="rank", kind=("recv",), run=run):
+            if e.peer is not None and 0 <= e.peer < n:
+                matrix[e.peer][e.rank] += e.words
+        return matrix
+
+    # -- persistence -----------------------------------------------------
+    def write_jsonl(self, path) -> pathlib.Path:
+        """Write the store as JSONL: a header line, then one event/line."""
+        path = pathlib.Path(path)
+        lines = [json.dumps({"schema": SCHEMA, "nprocs": self.nprocs})]
+        lines.extend(
+            json.dumps(e.as_dict(), sort_keys=True) for e in self.events
+        )
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path) -> "TraceStore":
+        """Exact inverse of :meth:`write_jsonl`."""
+        lines = pathlib.Path(path).read_text().splitlines()
+        header = json.loads(lines[0]) if lines else {}
+        if header.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} event file: {path} "
+                f"(header {header.get('schema')!r})"
+            )
+        store = cls(nprocs=int(header.get("nprocs", 0)))
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            d = json.loads(line)
+            store.events.append(
+                ObsEvent(
+                    lane=d["lane"], rank=int(d["rank"]), kind=d["kind"],
+                    start=float(d["start"]), end=float(d["end"]),
+                    peer=None if d["peer"] is None else int(d["peer"]),
+                    words=int(d["words"]), tag=int(d["tag"]),
+                    detail=d["detail"], scope=d["scope"], run=d["run"],
+                )
+            )
+        return store
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -42,6 +42,7 @@ from repro.distribution.sparse import SparsePlacement
 from repro.errors import DistributionError
 from repro.machine.engine import Proc
 from repro.machine.nonblocking import NBComm, waitall
+from repro.obs.context import stamp_current
 
 #: Default tag bases; kernels may override to avoid collisions.
 INSPECT_TAG = 900
@@ -387,3 +388,7 @@ def stamp_sparse(
             "schedule_reuses": int(schedule_reuses),
         }
     )
+    # Sparse drivers stamp metrics after the engine returns, so runs
+    # launched outside Plan.run still pick up the installed trace
+    # context (harmless re-stamp of the same keys otherwise).
+    stamp_current(metrics)

@@ -58,6 +58,7 @@ from repro.errors import (
 )
 from repro.lang.ast import Program
 from repro.machine.model import MachineModel
+from repro.obs.context import current_context, mint_context, tracing_context
 from repro.service.cache import _MISS, CacheStats, PlanCache, make_cache
 from repro.service.guests import lower
 from repro.service.normalize import canonicalize, program_digest, solve_digest
@@ -129,6 +130,12 @@ class CompileResult:
     #: degraded to in-process compilation).  Stamped into
     #: ``RunResult.metrics.service`` by :meth:`run`.
     service_stats: dict = field(default_factory=dict)
+    #: The :class:`~repro.obs.context.TraceContext` the service minted
+    #: (or adopted) for this request.  :meth:`run` reinstalls it around
+    #: plan execution so the engine stamps the same ``run_id`` into
+    #: ``RunResult.metrics.obs`` — one id from compile to rank lanes
+    #: (docs/OBSERVABILITY.md).
+    trace_context: object | None = None
 
     # -- convenience passthroughs ---------------------------------------
     @property
@@ -171,15 +178,16 @@ class CompileResult:
         env = self.request.env if env is None else env
         if nprocs is None or env is None:
             raise ReproError("run() needs nprocs and env (none on the request)")
-        result = self.plan.run(
-            nprocs,
-            self.translate(env),
-            model=model,
-            inputs=self.translate(inputs),
-            seed=seed,
-            backend=backend,
-            trace=trace,
-        )
+        with tracing_context(self.trace_context):
+            result = self.plan.run(
+                nprocs,
+                self.translate(env),
+                model=model,
+                inputs=self.translate(inputs),
+                seed=seed,
+                backend=backend,
+                trace=trace,
+            )
         metrics = getattr(result, "metrics", None)
         if metrics is not None:
             metrics.service.update(
@@ -541,49 +549,60 @@ class CompileService:
             form = canonicalize(program)
             plan_key = program_digest(program, req.strategy, form=form)
 
-            entry = self._cache_lookup(cache, plan_key)
-            if entry is _MISS:
-                generated = self._compile_generated(
-                    program, req.strategy, self._remaining(deadline_at, req)
-                )
-                plan = Plan(program=program, generated=generated)
-                rename = {name: name for name in form.rename}
-                self._cache_put(
-                    cache, plan_key,
-                    {"program": program, "generated": plan.generated,
-                     "rename": dict(form.rename)},
-                )
-                cached = False
-            else:
-                plan = Plan(program=entry["program"], generated=entry["generated"])
-                # requester orig -> canon -> stored orig
-                from_canon = {c: o for o, c in entry["rename"].items()}
-                rename = {
-                    orig: from_canon[canon]
-                    for orig, canon in form.rename.items()
-                    if canon in from_canon
-                }
-                cached = True
+            # Mint (or adopt the caller's) trace context keyed by the
+            # request digest: everything below — cache traffic, pool
+            # dispatches, the eventual plan.run — correlates to one id
+            # (docs/OBSERVABILITY.md).
+            ctx = current_context()
+            if ctx is None:
+                ctx = mint_context(request_digest=plan_key)
+            elif not ctx.request_digest:
+                ctx = replace(ctx, request_digest=plan_key)
 
-            outcome: SolveOutcome | None = None
-            solve_key: str | None = None
-            solve_cached = False
-            if req.wants_solve:
-                solve_key = solve_digest(
-                    program, req.nprocs, req.env, self.machine,
-                    req.strategy, execute=req.execute, form=form,
-                )
-                hit = self._cache_lookup(cache, solve_key)
-                if hit is _MISS:
-                    env_stored = {rename.get(k, k): v for k, v in req.env.items()}
-                    outcome = self._solve_plan(
-                        plan, req, env_stored, segment_memo,
-                        self._remaining(deadline_at, req),
+            with tracing_context(ctx):
+                entry = self._cache_lookup(cache, plan_key)
+                if entry is _MISS:
+                    generated = self._compile_generated(
+                        program, req.strategy, self._remaining(deadline_at, req)
                     )
-                    self._cache_put(cache, solve_key, outcome)
+                    plan = Plan(program=program, generated=generated)
+                    rename = {name: name for name in form.rename}
+                    self._cache_put(
+                        cache, plan_key,
+                        {"program": program, "generated": plan.generated,
+                         "rename": dict(form.rename)},
+                    )
+                    cached = False
                 else:
-                    outcome = hit
-                    solve_cached = True
+                    plan = Plan(program=entry["program"], generated=entry["generated"])
+                    # requester orig -> canon -> stored orig
+                    from_canon = {c: o for o, c in entry["rename"].items()}
+                    rename = {
+                        orig: from_canon[canon]
+                        for orig, canon in form.rename.items()
+                        if canon in from_canon
+                    }
+                    cached = True
+
+                outcome: SolveOutcome | None = None
+                solve_key: str | None = None
+                solve_cached = False
+                if req.wants_solve:
+                    solve_key = solve_digest(
+                        program, req.nprocs, req.env, self.machine,
+                        req.strategy, execute=req.execute, form=form,
+                    )
+                    hit = self._cache_lookup(cache, solve_key)
+                    if hit is _MISS:
+                        env_stored = {rename.get(k, k): v for k, v in req.env.items()}
+                        outcome = self._solve_plan(
+                            plan, req, env_stored, segment_memo,
+                            self._remaining(deadline_at, req),
+                        )
+                        self._cache_put(cache, solve_key, outcome)
+                    else:
+                        outcome = hit
+                        solve_cached = True
 
         stats = cache.stats if cache is not None else None
         service_stats: dict = (
@@ -610,6 +629,7 @@ class CompileService:
             solve_cached=solve_cached,
             wall_seconds=time.perf_counter() - t0,
             service_stats=service_stats,
+            trace_context=ctx,
         )
 
     # -- job queue -------------------------------------------------------

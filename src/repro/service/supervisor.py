@@ -51,6 +51,7 @@ import threading
 import time
 
 from repro.errors import DeadlineExceededError, ReproError, WorkerCrashedError
+from repro.obs import context as obs_context
 from repro.util import spans
 
 logger = logging.getLogger("repro.service")
@@ -91,6 +92,11 @@ def _run_task(task: dict, machine) -> object:
         return "slept"
     if kind == "unpicklable":  # unpicklable-result tests
         return lambda: None
+    if kind == "trace-echo":
+        # Observability probe: report the TraceContext installed in
+        # *this* process, proving the id crossed the pickled protocol.
+        ctx = obs_context.current_context()
+        return ctx.as_dict() if ctx is not None else None
     raise ReproError(f"unknown worker task kind {task['kind']!r}")
 
 
@@ -118,8 +124,22 @@ def _worker_main(conn, machine_blob: bytes) -> None:
             # Injected crash: die exactly as an OOM-kill would, before
             # any reply bytes are written.
             os.kill(os.getpid(), signal.SIGKILL)
+        trace = task.pop("trace", None)
         try:
-            payload = _run_task(task, machine)
+            if trace is not None:
+                # The hub's TraceContext rode along in the task dict:
+                # reinstall it here and record this process's spans so
+                # the hub can graft them onto its own compiler lane
+                # (docs/OBSERVABILITY.md).
+                ctx = obs_context.TraceContext.from_dict(trace)
+                with obs_context.tracing_context(ctx), spans.recording() as rec:
+                    payload = _run_task(task, machine)
+                payload = {
+                    "__obs__": {"spans": rec.as_dicts()},
+                    "value": payload,
+                }
+            else:
+                payload = _run_task(task, machine)
             try:
                 ok_blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             except Exception as exc:
@@ -367,6 +387,11 @@ class WorkerSupervisor:
         """
         if self._closed:
             raise ReproError("worker pool is closed")
+        ctx = obs_context.current_context()
+        if ctx is not None and "trace" not in task:
+            # Carry the hub's TraceContext across the process boundary
+            # inside the task dict itself (the protocol's only channel).
+            task = {**task, "trace": ctx.as_dict()}
         blob = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
         digest = _task_digest(blob)
         deadline_at = (
@@ -398,6 +423,8 @@ class WorkerSupervisor:
                     "no worker became idle in time",
                 ) from None
             attempts += 1
+            hub_rec = spans.current_recorder()
+            dispatched_at = hub_rec.now() if hub_rec is not None else 0.0
             try:
                 kind, payload = worker.call(send, deadline_at)
             except _WorkerDied as died:
@@ -433,7 +460,20 @@ class WorkerSupervisor:
             self._idle.put(worker)
             if kind == "err":
                 raise pickle.loads(payload)
-            return pickle.loads(payload)
+            result = pickle.loads(payload)
+            if isinstance(result, dict) and "__obs__" in result:
+                rec = spans.current_recorder()
+                if rec is not None:
+                    # Re-anchor the worker's spans at this dispatch's
+                    # point on the hub clock; the worker-side offsets
+                    # within the task are preserved relative to it.
+                    rec.graft(
+                        result["__obs__"].get("spans", ()),
+                        at=dispatched_at,
+                        prefix=f"worker{worker.index}/",
+                    )
+                return result["value"]
+            return result
         index, pid, exitcode, argv = last_crash or (
             -1, None, None, [sys.executable, *sys.argv],
         )

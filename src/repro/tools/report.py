@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro.tools.report [outdir]
-    python -m repro.tools.report --trace {sor,jacobi,cannon} [--out DIR]
+    python -m repro.tools.report --trace {sor,jacobi,cannon,spmv,sparse-cg} [--out DIR]
     python -m repro.tools.report --redist [--out DIR]
+    python -m repro.tools.report --diagnose KERNEL [--out DIR]
+    python -m repro.tools.report --diff RUN_A RUN_B [--out DIR]
 
 Without ``--trace``, writes the analytic Table 1/2, the Table 3/4
 layouts, the Table 5 token analysis, the Fig 2/7 affinity graphs, the
@@ -15,9 +17,26 @@ quick console/CI variant.
 
 With ``--trace KERNEL``, runs one reference kernel with tracing on and
 prints the observability report — per-rank/per-collective metrics, the
-critical path, and an ASCII gantt — and, when ``--out`` (or the
-positional outdir) is given, writes a Perfetto-loadable Chrome-trace
-JSON plus a metrics JSON snapshot.
+critical path, an ASCII gantt, and the TraceStore aggregations (wait
+time, message volume, the per-rank send matrix) — and, when ``--out``
+(or the positional outdir) is given, writes the queryable event store
+as JSONL, a Perfetto-loadable correlated Chrome-trace JSON, and a
+metrics JSON snapshot.  Unknown kernels exit 2 with the known listing.
+
+With ``--diagnose KERNEL``, runs one diagnosable kernel traced and
+prints the automated diagnostics (docs/OBSERVABILITY.md): per-wait
+attribution with named culprits, compute load balance with the
+offending rank, and the cost-model term decomposition.  On the chaos
+``jacobi`` drill the attributed share of idle time is checked against
+the ``wait-attribution`` band; misses exit nonzero.  ``--out`` writes
+the machine-readable ``diagnose_<kernel>.json`` twin.
+
+With ``--diff A B``, runs two registered runs traced and reports what
+moved: makespans, cost-model terms (compute/alpha/transfer/wait), and
+the critical-path edge diff.  The ``heat-blocking``/``heat-overlap``
+pair additionally reconciles the measured overlapped makespan against
+the X10 ``overlap=True`` prediction under the ``overlap-makespan``
+band.  ``--out`` writes ``diff_<a>_vs_<b>.json``.
 
 With ``--redist``, runs Algorithm 1 on the Fig 3 Jacobi program
 (m=256, N=16), lowers every redistribution of the chosen chain to real
@@ -52,7 +71,7 @@ from repro.costmodel import (
     jacobi_dp_time,
     jacobi_section3_time,
 )
-from repro.costmodel.bands import OVERLAP_MAKESPAN
+from repro.costmodel.bands import OVERLAP_MAKESPAN, get_band
 from repro.distribution import Dist1D, Dist2D
 from repro.distribution.layout import ownership_table
 from repro.dp import solve_program_distribution
@@ -70,11 +89,21 @@ from repro.machine import (
     Grid2D,
     MachineModel,
     Ring,
-    chrome_trace_json,
+    correlated_trace_json,
     critical_path,
     run_spmd,
 )
 from repro.machine.trace import gantt
+from repro.obs import (
+    TraceStore,
+    attribute_waits,
+    diff_runs,
+    drift_terms,
+    explain_drift,
+    load_imbalance,
+    mint_context,
+    tracing_context,
+)
 from repro.pipeline.mapping import choose_mapping, mapping_table
 from repro.pipeline.sor_schedule import render_schedule, sor_schedule_from_trace
 from repro.util.tables import Table
@@ -236,32 +265,99 @@ def _trace_cannon():
     return run_spmd(cannon_matmul, Grid2D(q, q), MODEL, args=(B, C, q), trace=True)
 
 
+def _trace_spmv():
+    from repro.kernels.spmv import spmv_parallel
+    from repro.sparse.csr import random_spd_csr
+
+    n, p = 128, 8
+    csr = random_spd_csr(n, density=0.06, seed=42)
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(n)
+    return run_spmd(
+        spmv_parallel, Ring(p), MODEL, args=(csr, x),
+        kwargs={"iterations": 3}, trace=True,
+    )
+
+
+def _trace_sparse_cg():
+    from repro.kernels.sparse_cg import sparse_cg_parallel
+    from repro.sparse.csr import random_spd_csr
+
+    n, p = 64, 8
+    csr = random_spd_csr(n, density=0.06, seed=42)
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(n)
+    return run_spmd(
+        sparse_cg_parallel, Ring(p), MODEL, args=(csr, b),
+        kwargs={"tol": 1e-8, "max_iterations": 8}, trace=True,
+    )
+
+
 TRACED = {
     "sor": _trace_sor,
     "jacobi": _trace_jacobi,
     "cannon": _trace_cannon,
+    "spmv": _trace_spmv,
+    "sparse-cg": _trace_sparse_cg,
 }
+
+
+def _unknown_target(kind: str, name: str, known) -> int:
+    """Reject an unknown CLI target with the known listing (exit 2)."""
+    import sys
+
+    print(
+        f"error: unknown {kind} target {name!r}; "
+        f"known: {', '.join(sorted(known))}",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _send_matrix_table(store: TraceStore) -> str:
+    matrix = store.send_matrix()
+    table = Table(
+        ["src \\ dst", *[f"P{d}" for d in range(store.nprocs)]],
+        title="Send matrix (words injected src -> dst)",
+    )
+    for src, row in enumerate(matrix):
+        table.add_row([f"P{src}", *[str(w) for w in row]])
+    return table.render()
 
 
 def trace_report(kernel: str, outdir: pathlib.Path | None = None) -> int:
     """Run one traced kernel and print/write the observability report."""
-    res = TRACED[kernel]()
+    if kernel not in TRACED:
+        return _unknown_target("--trace", kernel, TRACED)
+    ctx = mint_context()
+    with tracing_context(ctx):
+        res = TRACED[kernel]()
     report = critical_path(res.trace)
-    print(f"\n{'=' * 72}\ntraced run: {kernel} (makespan {res.makespan:g})\n{'=' * 72}")
+    store = TraceStore.from_run(res)
+    print(f"\n{'=' * 72}\ntraced run: {kernel} (makespan {res.makespan:g}, "
+          f"run {ctx.run_id})\n{'=' * 72}")
     print(res.metrics.summary())
     print()
     print(report.describe())
     print()
     print(gantt(res.trace))
+    print()
+    print(_send_matrix_table(store))
+    print(f"\nstore: {len(store)} events, "
+          f"wait {store.wait_seconds():g}s, "
+          f"{store.message_words()} words injected")
     if outdir is not None:
         outdir.mkdir(parents=True, exist_ok=True)
+        events_path = store.write_jsonl(outdir / f"{kernel}_events.jsonl")
         trace_path = outdir / f"{kernel}_chrome_trace.json"
         trace_path.write_text(
-            json.dumps(chrome_trace_json(res.trace, process_name=kernel)) + "\n"
+            json.dumps(
+                correlated_trace_json(res.trace, context=ctx, process_name=kernel)
+            ) + "\n"
         )
         metrics_path = outdir / f"{kernel}_metrics.json"
         metrics_path.write_text(json.dumps(res.metrics.as_dict(), indent=2) + "\n")
-        print(f"\nwrote {trace_path} and {metrics_path}")
+        print(f"\nwrote {events_path}, {trace_path} and {metrics_path}")
     return 0
 
 
@@ -651,14 +747,174 @@ def deadlock_report() -> int:
     return status
 
 
+def _chaos_jacobi(faults: bool):
+    """The chaos-drill Jacobi config (same numbers as ``--chaos``)."""
+    from repro.kernels import resilient_jacobi
+    from repro.machine.faults import FaultPlan
+
+    m, n, iters = 24, 8, 6
+    A, b, _ = make_spd_system(m, seed=7)
+    plan = None
+    if faults:
+        plan = FaultPlan(
+            seed=42,
+            delay_prob=0.15,
+            delay_max=60.0,
+            drop_prob=0.08,
+            duplicate_prob=0.08,
+            slowdown=((3, 1.5),),
+        )
+    model = MachineModel()
+    res = run_spmd(
+        resilient_jacobi, Ring(n), model,
+        args=(A, b, np.zeros(m), iters), faults=plan, trace=True,
+    )
+    return res, model
+
+
+def _heat_run(overlapped: bool):
+    """The X10 heat pair (n=8, m=256, steps=5, alpha=100), traced."""
+    from repro.kernels import heat_stencil_blocking, heat_stencil_overlap
+
+    n, m_heat, steps = 8, 256, 5
+    rng = np.random.default_rng(3)
+    u0 = rng.normal(size=m_heat)
+    model = MachineModel(tf=1.0, tc=10.0, alpha=100.0)
+    fn = heat_stencil_overlap if overlapped else heat_stencil_blocking
+    return run_spmd(fn, Ring(n), model, args=(u0, steps), trace=True), model
+
+
+#: ``--diagnose`` targets: the chaos Jacobi drill plus clean reference
+#: kernels (each builder returns a traced run and its machine model).
+DIAGNOSED = {
+    "jacobi": lambda: _chaos_jacobi(faults=True),
+    "jacobi-clean": lambda: _chaos_jacobi(faults=False),
+    "sor": lambda: (_trace_sor(), MachineModel(tf=1, tc=1)),
+    "spmv": lambda: (_trace_spmv(), MODEL),
+}
+
+#: ``--diff`` targets (any pair diffs; the heat pair also reconciles
+#: against the X10 ``overlap=True`` prediction).
+DIFF_RUNS = {
+    "heat-blocking": lambda: _heat_run(overlapped=False),
+    "heat-overlap": lambda: _heat_run(overlapped=True),
+    "jacobi-clean": lambda: _chaos_jacobi(faults=False),
+    "jacobi-chaos": lambda: _chaos_jacobi(faults=True),
+}
+
+
+def diagnose_report(kernel: str, outdir: pathlib.Path | None = None) -> int:
+    """Run one kernel traced and print/write the automated diagnostics."""
+    if kernel not in DIAGNOSED:
+        return _unknown_target("--diagnose", kernel, DIAGNOSED)
+    ctx = mint_context()
+    with tracing_context(ctx):
+        res, model = DIAGNOSED[kernel]()
+    store = TraceStore.from_run(res)
+    waits = attribute_waits(store)
+    imbalance = load_imbalance(store)
+    terms = drift_terms(res.metrics, model)
+    band = get_band("wait-attribution")
+    band_ok = band.check(waits.coverage)
+
+    print(f"\n{'=' * 72}\ndiagnosis: {kernel} "
+          f"(makespan {res.makespan:g}, run {ctx.run_id})\n{'=' * 72}")
+    print(waits.describe())
+    print()
+    print(imbalance.describe())
+    print()
+    terms_table = Table(
+        ["term", "rank-seconds"],
+        title="Cost-model decomposition",
+    )
+    for key, value in terms.items():
+        terms_table.add_row([key, f"{value:g}"])
+    print(terms_table.render())
+    print(f"\nattribution coverage {waits.coverage:.3f} vs band "
+          f"{band.describe()}: {'ok' if band_ok else 'MISS'}")
+    status = 0 if band_ok else 1
+    print(f"diagnosis {'PASSED' if status == 0 else 'FAILED'}")
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kernel": kernel,
+            "run_id": ctx.run_id,
+            "makespan": res.makespan,
+            "coverage_band": [band.lower, band.upper],
+            "coverage_ok": band_ok,
+            "ok": status == 0,
+            "attribution": waits.as_dict(),
+            "imbalance": imbalance.as_dict(),
+            "terms": terms,
+            "faults": dict(res.metrics.faults),
+        }
+        path = outdir / f"diagnose_{kernel}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+    return status
+
+
+def diff_report(a: str, b: str, outdir: pathlib.Path | None = None) -> int:
+    """Diff two registered traced runs; print/write what moved."""
+    from dataclasses import replace
+
+    for name in (a, b):
+        if name not in DIFF_RUNS:
+            return _unknown_target("--diff", name, DIFF_RUNS)
+    res_a, model_a = DIFF_RUNS[a]()
+    res_b, model_b = DIFF_RUNS[b]()
+
+    drift = None
+    if {a, b} == {"heat-blocking", "heat-overlap"}:
+        # Reconcile the measured overlapped run against the X10
+        # prediction: the blocking twin executed on overlap=True.
+        overlap_res, overlap_model = (
+            (res_b, model_b) if b == "heat-overlap" else (res_a, model_a)
+        )
+        from repro.kernels import heat_stencil_blocking
+
+        pred_model = replace(overlap_model, overlap=True)
+        rng = np.random.default_rng(3)
+        u0 = rng.normal(size=256)
+        pred_res = run_spmd(
+            heat_stencil_blocking, Ring(8), pred_model,
+            args=(u0, 5), trace=True,
+        )
+        drift = explain_drift(
+            "overlap-makespan",
+            measured=overlap_res.makespan,
+            analytic=pred_res.makespan,
+            terms_measured=drift_terms(overlap_res.metrics, overlap_model),
+            terms_analytic=drift_terms(pred_res.metrics, pred_model),
+            label="measured overlapped vs blocking twin on overlap=True",
+        )
+
+    diff = diff_runs(
+        res_a, res_b, model_a, model_b, label_a=a, label_b=b, drift=drift,
+    )
+    print(f"\n{'=' * 72}\nrun diff: {a} vs {b}\n{'=' * 72}")
+    print(diff.describe())
+    status = 0 if (drift is None or drift.ok) else 1
+    print(f"\ndiff {'PASSED' if status == 0 else 'FAILED'}")
+    if outdir is not None:
+        outdir.mkdir(parents=True, exist_ok=True)
+        payload = diff.as_dict()
+        payload["ok"] = status == 0
+        path = outdir / f"diff_{a}_vs_{b}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.report", description=__doc__
     )
     parser.add_argument("outdir", nargs="?", default=None,
                         help="directory for artifact files (optional)")
-    parser.add_argument("--trace", choices=sorted(TRACED),
-                        help="trace one reference kernel instead of the full report")
+    parser.add_argument("--trace", metavar="KERNEL",
+                        help="trace one reference kernel instead of the full "
+                             f"report ({', '.join(sorted(TRACED))})")
     parser.add_argument("--redist", action="store_true",
                         help="execute Algorithm 1's chosen redistribution chain "
                              "and reconcile measured vs analytic words")
@@ -674,12 +930,23 @@ def main(argv: list[str] | None = None) -> int:
                              "analytic overlap=True prediction on both "
                              "backends; exit nonzero on any numeric, parity, "
                              "speedup or slack-band failure")
+    parser.add_argument("--diagnose", metavar="KERNEL",
+                        help="run one kernel traced and print the automated "
+                             "diagnostics (wait attribution, load imbalance, "
+                             f"cost-model terms): {', '.join(sorted(DIAGNOSED))}")
+    parser.add_argument("--diff", nargs=2, metavar=("RUN_A", "RUN_B"),
+                        help="critical-path + cost-model diff between two "
+                             f"registered runs: {', '.join(sorted(DIFF_RUNS))}")
     parser.add_argument("--out", default=None,
                         help="output directory (alias for outdir)")
     ns = parser.parse_args(argv)
     outdir = pathlib.Path(ns.out or ns.outdir) if (ns.out or ns.outdir) else None
     if ns.trace:
         return trace_report(ns.trace, outdir)
+    if ns.diagnose:
+        return diagnose_report(ns.diagnose, outdir)
+    if ns.diff:
+        return diff_report(ns.diff[0], ns.diff[1], outdir)
     if ns.redist:
         return redist_report(outdir)
     if ns.chaos:

@@ -83,10 +83,42 @@ class SpanRecorder:
         t = time.perf_counter() - self._epoch
         self.spans.append(Span(name, t, t, self._depth))
 
+    def now(self) -> float:
+        """Current time on this recorder's clock (seconds since epoch)."""
+        return time.perf_counter() - self._epoch
+
+    def graft(self, span_dicts, *, at: float, prefix: str = "") -> None:
+        """Splice spans recorded on *another* clock into this recorder.
+
+        Used by the worker supervisor (docs/OBSERVABILITY.md): a worker
+        process records spans against its own epoch; the hub re-anchors
+        them so the earliest grafted span starts at *at* on the hub's
+        clock (typically the dispatch time from :meth:`now`), optionally
+        prefixing names (``worker0/``) so lanes stay distinguishable.
+        """
+        span_dicts = list(span_dicts)
+        if not span_dicts:
+            return
+        base = min(float(s["start"]) for s in span_dicts)
+        for s in span_dicts:
+            self.spans.append(
+                Span(
+                    name=prefix + str(s["name"]),
+                    start=float(s["start"]) - base + at,
+                    end=float(s["end"]) - base + at,
+                    depth=int(s.get("depth", 0)),
+                )
+            )
+
     # -- views -----------------------------------------------------------
     def sorted_spans(self) -> list[Span]:
-        """Spans in start order (they are appended in *end* order)."""
-        return sorted(self.spans, key=lambda s: (s.start, s.depth))
+        """Spans in start order (they are appended in *end* order).
+
+        The name tie-break makes the order — and hence every export —
+        deterministic even when instants share a timestamp; exact
+        duplicates keep insertion order (the sort is stable).
+        """
+        return sorted(self.spans, key=lambda s: (s.start, s.depth, s.name))
 
     def totals(self) -> dict[str, float]:
         """Summed duration per span name, deterministically ordered."""

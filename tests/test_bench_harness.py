@@ -271,7 +271,7 @@ class TestRecordsFile:
 class TestBenchRunner:
     def test_discover_only_patterns(self):
         all_files = bench.discover(None)
-        assert len(all_files) == 30
+        assert len(all_files) == 31
         figs = bench.discover("fig*|table1*")
         ids = [bench.bench_id(f) for f in figs]
         assert ids[0].startswith("fig") and "table1_primitives" in ids

@@ -58,3 +58,68 @@ class TestTraceCli:
         rc = main(["--trace", "jacobi", str(tmp_path)])
         assert rc == 0
         assert (tmp_path / "jacobi_chrome_trace.json").exists()
+
+    def test_trace_sparse_kernel(self, tmp_path, capsys):
+        import json
+
+        rc = main(["--trace", "spmv", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Send matrix" in out
+        doc = json.loads((tmp_path / "spmv_chrome_trace.json").read_text())
+        assert doc["otherData"]["trace_context"]["run_id"].startswith("run-")
+        # the events JSONL round-trips through the store
+        from repro.obs import TraceStore
+
+        store = TraceStore.read_jsonl(tmp_path / "spmv_events.jsonl")
+        assert len(store) and store.nprocs == 8
+
+    def test_unknown_trace_target_exits_nonzero_with_listing(self, capsys):
+        rc = main(["--trace", "warp-drive"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown --trace target 'warp-drive'" in err
+        assert "sparse-cg" in err and "jacobi" in err  # the listing helps
+
+    def test_unknown_redist_style_targets_also_listed(self, capsys):
+        rc = main(["--diagnose", "nope"])
+        assert rc == 2
+        assert "known:" in capsys.readouterr().err
+
+
+class TestDiagnoseCli:
+    def test_diagnose_jacobi_writes_json_twin(self, tmp_path, capsys):
+        import json
+
+        rc = main(["--diagnose", "jacobi", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wait attribution" in out and "diagnosis PASSED" in out
+        doc = json.loads((tmp_path / "diagnose_jacobi.json").read_text())
+        assert doc["ok"] is True
+        assert doc["attribution"]["coverage"] >= 0.9
+        assert doc["imbalance"]["entries"]
+        assert set(doc["terms"]) == {"compute", "alpha", "transfer", "wait"}
+
+    def test_diff_heat_pair_writes_json_twin(self, tmp_path, capsys):
+        import json
+
+        rc = main([
+            "--diff", "heat-blocking", "heat-overlap", "--out", str(tmp_path)
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run diff" in out and "diff PASSED" in out
+        name = "diff_heat-blocking_vs_heat-overlap.json"
+        doc = json.loads((tmp_path / name).read_text())
+        assert doc["ok"] is True
+        assert doc["makespan_b"] < doc["makespan_a"]
+        # overlap removes the per-word transfer occupancy entirely
+        assert doc["terms_b"]["transfer"] == 0
+        assert doc["terms_a"]["transfer"] > 0
+        assert doc["drift"]["ok"] is True
+
+    def test_unknown_diff_target_exits_nonzero(self, capsys):
+        rc = main(["--diff", "heat-blocking", "nope"])
+        assert rc == 2
+        assert "unknown --diff target 'nope'" in capsys.readouterr().err
